@@ -1,0 +1,69 @@
+//===- bench/BenchUtil.h - Shared helpers for the bench harness ------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the paper-reproduction bench binaries.  Every
+/// measurement builds a *fresh* testbed with the same seed, so independent
+/// data points never disturb each other and reruns are bit-identical —
+/// the simulation analogue of the paper running its transfers back to back
+/// on an otherwise idle testbed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_BENCH_BENCHUTIL_H
+#define DGSIM_BENCH_BENCHUTIL_H
+
+#include "grid/Testbed.h"
+#include "support/Table.h"
+#include "support/Units.h"
+
+#include <cstdio>
+#include <string>
+
+namespace dgsim {
+namespace bench {
+
+/// Warm-up time before measurements: lets sensors populate and the load
+/// processes leave their initial state.
+inline constexpr SimTime WarmupSeconds = 30.0;
+
+/// Runs one transfer on a fresh PaperTestbed and returns its result.
+inline TransferResult runSingleTransfer(const PaperTestbedOptions &Options,
+                                        const std::string &SourceName,
+                                        const std::string &DestName,
+                                        Bytes FileBytes,
+                                        TransferProtocol Protocol,
+                                        unsigned Streams) {
+  PaperTestbed T(Options);
+  T.sim().runUntil(WarmupSeconds);
+  TransferSpec Spec;
+  Spec.Source = T.grid().findHost(SourceName);
+  Spec.Destination = T.grid().findHost(DestName);
+  Spec.FileBytes = FileBytes;
+  Spec.Protocol = Protocol;
+  Spec.Streams = Streams;
+  TransferResult Result;
+  T.grid().transfers().submit(Spec,
+                              [&](const TransferResult &R) { Result = R; });
+  T.sim().run();
+  return Result;
+}
+
+/// Prints a banner line for a bench binary.
+inline void banner(const char *Title, const char *PaperArtifact) {
+  std::printf("== %s ==\n", Title);
+  std::printf("reproduces: %s\n\n", PaperArtifact);
+}
+
+/// Prints the pass/fail line for the qualitative paper-shape property.
+inline void shapeCheck(bool Ok, const char *Property) {
+  std::printf("paper-shape check: [%s] %s\n", Ok ? "OK" : "FAIL", Property);
+}
+
+} // namespace bench
+} // namespace dgsim
+
+#endif // DGSIM_BENCH_BENCHUTIL_H

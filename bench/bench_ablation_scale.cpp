@@ -1,0 +1,141 @@
+//===- bench/bench_ablation_scale.cpp -----------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation: replica selection at larger site counts.
+///
+/// The paper's last future-work item: "extend our Data Grid testbed for
+/// analyzing the performance of replica selection in a dynamic and larger
+/// number of sites environment."  This bench synthesises grids of 4 to 32
+/// sites (heterogeneous access links behind one backbone, one host per
+/// site plus a client site), replicates one large file onto a third of the
+/// sites, and compares the cost-model policy against random selection as
+/// the grid grows.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "grid/DataGrid.h"
+#include "replica/ReplicaSelector.h"
+
+#include <map>
+#include <memory>
+
+using namespace dgsim;
+using namespace dgsim::units;
+
+namespace {
+
+/// Builds a synthetic star grid with \p NumSites server sites and returns
+/// the mean fetch time of a 512 MB file over \p Trials selections under
+/// the given policy.  Each trial re-selects on the live (dynamic) grid and
+/// fetches sequentially.
+double runScale(size_t NumSites, const char *Which, uint64_t Seed) {
+  DataGrid G(Seed);
+  RandomEngine Topology(Seed * 7919 + NumSites);
+
+  SiteConfig Client;
+  Client.Name = "client-site";
+  Client.Hosts.resize(1);
+  Client.Hosts[0].Name = "client";
+  G.addSite(Client);
+
+  for (size_t I = 0; I < NumSites; ++I) {
+    SiteConfig S;
+    S.Name = "site" + std::to_string(I);
+    S.Hosts.resize(1);
+    SiteHostSpec &H = S.Hosts[0];
+    H.Name = "server" + std::to_string(I);
+    H.CpuSpeed = Topology.uniform(0.3, 1.2);
+    H.CpuMeanLoad = Topology.uniform(0.05, 0.6);
+    H.IoMeanLoad = Topology.uniform(0.05, 0.4);
+    G.addSite(S);
+  }
+
+  NodeId Core = G.addBackboneNode("core");
+  G.connectToBackbone("client-site", Core, gbps(1), 0.002, 1e-5);
+  for (size_t I = 0; I < NumSites; ++I) {
+    // Heterogeneous access links: a few fast, many mediocre, some awful.
+    double Tier = Topology.uniform();
+    BitRate Cap = Tier > 0.7 ? gbps(1) : Tier > 0.3 ? mbps(100) : mbps(20);
+    SimTime Delay = Topology.uniform(0.002, 0.02);
+    double Loss = Topology.uniform(1e-5, 3e-3);
+    G.connectToBackbone("site" + std::to_string(I), Core, Cap, Delay, Loss);
+  }
+  G.finalize();
+
+  G.catalog().registerFile("big-file", megabytes(512));
+  size_t Replicas = std::max<size_t>(2, NumSites / 3);
+  for (size_t I = 0; I < Replicas; ++I) {
+    size_t Pick = (I * NumSites) / Replicas;
+    G.catalog().addReplica("big-file",
+                           *G.findHost("server" + std::to_string(Pick)));
+  }
+
+  std::unique_ptr<SelectionPolicy> Policy;
+  if (std::string(Which) == "cost-model")
+    Policy = std::make_unique<CostModelPolicy>();
+  else
+    Policy = std::make_unique<RandomPolicy>(RandomEngine(Seed + 1));
+  ReplicaSelector Sel(G.catalog(), G.info(), *Policy);
+
+  Host *ClientHost = G.findHost("client");
+  G.sim().runUntil(bench::WarmupSeconds);
+
+  double TotalSeconds = 0.0;
+  constexpr int Trials = 5;
+  for (int Trial = 0; Trial < Trials; ++Trial) {
+    SelectionResult R = Sel.select(ClientHost->node(), "big-file");
+    TransferSpec Spec;
+    Spec.Source = R.Chosen;
+    Spec.Destination = ClientHost;
+    Spec.FileBytes = megabytes(512);
+    Spec.Protocol = TransferProtocol::GridFtpModeE;
+    Spec.Streams = 8;
+    double Seconds = 0.0;
+    G.transfers().submit(
+        Spec, [&](const TransferResult &T) { Seconds = T.totalSeconds(); });
+    G.sim().run();
+    TotalSeconds += Seconds;
+  }
+  return TotalSeconds / Trials;
+}
+
+} // namespace
+
+int main() {
+  bench::banner("Ablation: larger number of sites",
+                "paper future work: replica selection in dynamic, larger "
+                "grids (4-32 sites)");
+
+  Table T;
+  T.setHeader({"sites", "cost-model (s)", "random (s)", "speedup"});
+  std::map<size_t, double> Speedup;
+  for (size_t Sites : {4u, 8u, 16u, 32u}) {
+    double Cost = runScale(Sites, "cost-model", 99);
+    double Rand = runScale(Sites, "random", 99);
+    Speedup[Sites] = Rand / Cost;
+    T.beginRow();
+    T.add(static_cast<long long>(Sites));
+    T.add(Cost, 1);
+    T.add(Rand, 1);
+    T.add(Speedup[Sites], 2);
+  }
+  T.print(stdout);
+  std::printf("\n");
+
+  bool AlwaysWins = true;
+  for (auto &[Sites, S] : Speedup)
+    AlwaysWins &= S > 1.0;
+  bool GrowsOrHolds = Speedup[32] >= Speedup[4] * 0.8;
+  bench::shapeCheck(AlwaysWins,
+                    "cost model beats random selection at every scale");
+  bench::shapeCheck(GrowsOrHolds,
+                    "the advantage persists as the grid grows (more "
+                    "heterogeneity to exploit)");
+  return AlwaysWins && GrowsOrHolds ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+//===- bench/bench_ablation_striped.cpp ---------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extension: striped data transfer (the paper's first future-work item:
+/// "another striped data transfer feature that can improve aggregate
+/// bandwidth").
+///
+/// Striping sends disjoint partitions of one file from several source
+/// hosts at once.  Where parallel streams multiply per-connection TCP
+/// limits, striping additionally multiplies *end-system* limits (disk
+/// read bandwidth).  We show both regimes: on the disk-bound THU -> HIT
+/// gigabit path striping scales with the stripe count; on the
+/// network-bound Li-Zen path it cannot beat the 30 Mb/s bottleneck.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <map>
+#include <vector>
+
+using namespace dgsim;
+using namespace dgsim::units;
+
+namespace {
+
+/// Fetches 1024 MB to \p Dest from the first \p Stripes hosts of
+/// \p Sources (striped MODE E, 8 streams per stripe) on a fresh testbed.
+double runStriped(const std::vector<std::string> &Sources, size_t Stripes,
+                  const std::string &Dest) {
+  PaperTestbedOptions O;
+  O.DynamicLoad = false;
+  O.CrossTraffic = false;
+  PaperTestbed T(O);
+  T.sim().runUntil(bench::WarmupSeconds);
+  TransferSpec Spec;
+  for (size_t I = 0; I < Stripes; ++I)
+    Spec.Stripes.push_back(T.grid().findHost(Sources[I]));
+  Spec.Destination = T.grid().findHost(Dest);
+  Spec.FileBytes = megabytes(1024);
+  Spec.Protocol = TransferProtocol::GridFtpModeE;
+  Spec.Streams = 8;
+  double Seconds = 0.0;
+  T.grid().transfers().submit(
+      Spec, [&](const TransferResult &R) { Seconds = R.totalSeconds(); });
+  T.sim().run();
+  return Seconds;
+}
+
+} // namespace
+
+int main() {
+  bench::banner("Extension: striped data transfer",
+                "paper future work: striped transfers vs stripe count, "
+                "disk-bound and network-bound paths");
+
+  const std::vector<std::string> ThuSources = {"alpha1", "alpha2", "alpha3",
+                                               "alpha4"};
+  const std::vector<std::string> LzSources = {"lz01", "lz02", "lz03",
+                                              "lz04"};
+
+  Table T;
+  T.setHeader({"stripes", "THU->hit3 (disk-bound) s", "speedup",
+               "LiZen->alpha1 (net-bound) s", "speedup"});
+  std::map<size_t, double> Thu, Lz;
+  for (size_t Stripes : {1u, 2u, 3u, 4u}) {
+    Thu[Stripes] = runStriped(ThuSources, Stripes, "hit3");
+    Lz[Stripes] = runStriped(LzSources, Stripes, "alpha1");
+    T.beginRow();
+    T.add(static_cast<long long>(Stripes));
+    T.add(Thu[Stripes], 1);
+    T.add(Thu[1] / Thu[Stripes], 2);
+    T.add(Lz[Stripes], 1);
+    T.add(Lz[1] / Lz[Stripes], 2);
+  }
+  T.print(stdout);
+  std::printf("\n");
+
+  // With 8 streams per stripe the THU->HIT WAN path is TCP/window-bound at
+  // one stripe (~225 Mb/s); a second stripe doubles the TCP aggregate but
+  // runs into the *destination* disk (one spindle, shared by all stripes,
+  // with background I/O), so the gain is real yet bounded — the reason
+  // production striped GridFTP stripes the receiving end too.
+  bool ThuScales = Thu[2] < Thu[1] * 0.88;
+  bool ThuCeiling = Thu[4] > Thu[2] * 0.92; // Extra stripes: no new gain.
+  bool LzFlat = Lz[4] > Lz[1] * 0.9; // 30 Mb/s bottleneck: no gain.
+  bench::shapeCheck(ThuScales,
+                    "striping speeds up the gigabit path (>12% at 2 stripes)");
+  bench::shapeCheck(ThuCeiling,
+                    "gains flatten once the single destination disk binds");
+  bench::shapeCheck(LzFlat,
+                    "striping cannot beat the Li-Zen 30 Mb/s bottleneck");
+  return ThuScales && ThuCeiling && LzFlat ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+//===- bench/bench_fig2_testbed.cpp -------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the paper's Fig 2 (the Data Grid testbed diagram) as an
+/// inventory: the three sites with their hardware classes and network
+/// configuration, every host, and every link of the simulated topology.
+/// The shape checks pin the testbed to the paper's §4 description: three
+/// sites of four PCs, 1 Gb/s access at THU and HIT, 30 Mb/s at Li-Zen,
+/// and the relative CPU speed ordering P4 2.8 > AthlonMP 2.0 > Celeron 900.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace dgsim;
+using namespace dgsim::units;
+
+int main() {
+  bench::banner("Fig 2: the Data Grid testbed",
+                "site/host/link inventory of the THU + Li-Zen + HIT grid");
+
+  PaperTestbedOptions Options;
+  Options.DynamicLoad = false;
+  Options.CrossTraffic = false;
+  PaperTestbed T(Options);
+  DataGrid &G = T.grid();
+
+  Table Sites;
+  Sites.setHeader({"site", "hosts", "cpu speed", "NIC", "disk read"});
+  for (const char *Name : {"thu", "lizen", "hit"}) {
+    Site *S = G.findSite(Name);
+    const Host &H = S->host(0);
+    Sites.beginRow();
+    Sites.add(S->name());
+    Sites.add(static_cast<long long>(S->hostCount()));
+    Sites.add(H.config().CpuSpeed, 2);
+    Sites.add(fmt::rate(H.config().NicRate));
+    Sites.add(fmt::rate(H.config().DiskCfg.ReadRate));
+  }
+  Sites.print(stdout);
+  std::printf("\n");
+
+  Table Hosts;
+  Hosts.setHeader({"host", "site", "mean cpu load", "mean io load"});
+  for (const char *SiteName : {"thu", "lizen", "hit"}) {
+    Site *S = G.findSite(SiteName);
+    for (const auto &H : S->hosts()) {
+      Hosts.beginRow();
+      Hosts.add(H->name());
+      Hosts.add(S->name());
+      Hosts.add(H->config().Cpu.MeanLoad, 2);
+      Hosts.add(H->config().DiskCfg.Background.MeanLoad, 2);
+    }
+  }
+  Hosts.print(stdout);
+  std::printf("\n");
+
+  Table Links;
+  Links.setHeader({"link", "endpoints", "capacity", "delay (ms)", "loss"});
+  const Topology &Topo = G.topology();
+  for (LinkId L = 0; L != Topo.linkCount(); ++L) {
+    const NetLink &Ln = Topo.link(L);
+    Links.beginRow();
+    Links.add(static_cast<long long>(L));
+    Links.add(Topo.node(Ln.A).Name + " -- " + Topo.node(Ln.B).Name);
+    Links.add(fmt::rate(Ln.Capacity));
+    Links.add(Ln.Delay * 1e3, 1);
+    Links.add(Ln.LossRate, 5);
+  }
+  Links.print(stdout);
+  std::printf("\n");
+
+  bool ThreeSitesOfFour = G.findSite("thu")->hostCount() == 4 &&
+                          G.findSite("lizen")->hostCount() == 4 &&
+                          G.findSite("hit")->hostCount() == 4;
+  // Access links are the last three (site switch -- tanet).
+  double ThuAccess = 0, LzAccess = 0, HitAccess = 0;
+  NodeId Tanet = Topo.findNode("tanet");
+  for (LinkId L = 0; L != Topo.linkCount(); ++L) {
+    const NetLink &Ln = Topo.link(L);
+    if (Ln.A != Tanet && Ln.B != Tanet)
+      continue;
+    NodeId Other = Ln.A == Tanet ? Ln.B : Ln.A;
+    if (Topo.node(Other).Name == "thu-sw")
+      ThuAccess = Ln.Capacity;
+    else if (Topo.node(Other).Name == "lizen-sw")
+      LzAccess = Ln.Capacity;
+    else if (Topo.node(Other).Name == "hit-sw")
+      HitAccess = Ln.Capacity;
+  }
+  bool AccessRates = ThuAccess == gbps(1) && HitAccess == gbps(1) &&
+                     LzAccess == mbps(30);
+  bool CpuOrder = T.hit(0).config().CpuSpeed > T.alpha(1).config().CpuSpeed &&
+                  T.alpha(1).config().CpuSpeed > T.lz(1).config().CpuSpeed;
+  bench::shapeCheck(ThreeSitesOfFour, "three sites of four PCs each");
+  bench::shapeCheck(AccessRates,
+                    "1 Gb/s access at THU and HIT, 30 Mb/s at Li-Zen");
+  bench::shapeCheck(CpuOrder,
+                    "CPU speed order: P4 2.8 > AthlonMP 2.0 > Celeron 900");
+  return ThreeSitesOfFour && AccessRates && CpuOrder ? 0 : 1;
+}

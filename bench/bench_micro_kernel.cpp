@@ -1,0 +1,102 @@
+//===- bench/bench_micro_kernel.cpp -------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks of the simulator's hot kernels: event
+/// queue throughput, the max-min fair-share solver, routing, and the NWS
+/// forecaster battery.  These bound how large a grid the ablation benches
+/// can simulate in reasonable wall-clock time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "monitor/Forecaster.h"
+#include "net/FairShare.h"
+#include "net/Routing.h"
+#include "net/Topology.h"
+#include "sim/Simulator.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dgsim;
+
+static void BM_EventScheduleAndRun(benchmark::State &State) {
+  const size_t N = State.range(0);
+  for (auto _ : State) {
+    Simulator Sim;
+    RandomEngine Rng(1);
+    size_t Fired = 0;
+    for (size_t I = 0; I < N; ++I)
+      Sim.schedule(Rng.uniform(0, 1000), [&Fired] { ++Fired; });
+    Sim.run();
+    benchmark::DoNotOptimize(Fired);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_EventScheduleAndRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+static void BM_FairShareSolve(benchmark::State &State) {
+  const size_t Flows = State.range(0);
+  const size_t Resources = 64;
+  RandomEngine Rng(2);
+  std::vector<double> Cap(Resources);
+  for (auto &C : Cap)
+    C = Rng.uniform(10, 1000);
+  std::vector<FairShareDemand> Demands(Flows);
+  for (auto &D : Demands) {
+    size_t Hops = 1 + Rng.uniformInt(4);
+    for (size_t I = 0; I < Hops; ++I)
+      D.Resources.push_back(Rng.uniformInt(Resources));
+    D.Cap = Rng.uniform(1, 500);
+    D.Weight = 1.0 + Rng.uniformInt(16);
+  }
+  for (auto _ : State) {
+    auto R = solveMaxMinFairShare(Cap, Demands);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetItemsProcessed(State.iterations() * Flows);
+}
+BENCHMARK(BM_FairShareSolve)->Arg(16)->Arg(64)->Arg(256);
+
+static void BM_RoutingColdPaths(benchmark::State &State) {
+  const size_t Sites = State.range(0);
+  Topology Topo;
+  NodeId Core = Topo.addNode("core");
+  std::vector<NodeId> Leaves;
+  RandomEngine Rng(3);
+  for (size_t I = 0; I < Sites; ++I) {
+    NodeId N = Topo.addNode("n" + std::to_string(I));
+    Topo.addLink(N, Core, 1e9, Rng.uniform(0.001, 0.01));
+    Leaves.push_back(N);
+  }
+  for (auto _ : State) {
+    Routing Router(Topo); // Cold cache each iteration.
+    double Acc = 0.0;
+    for (size_t I = 1; I < Leaves.size(); ++I)
+      Acc += Router.path(Leaves[0], Leaves[I])->Rtt;
+    benchmark::DoNotOptimize(Acc);
+  }
+  State.SetItemsProcessed(State.iterations() * (Sites - 1));
+}
+BENCHMARK(BM_RoutingColdPaths)->Arg(16)->Arg(64)->Arg(256);
+
+static void BM_NwsForecasterObserve(benchmark::State &State) {
+  RandomEngine Rng(4);
+  std::vector<double> Series(4096);
+  for (auto &X : Series)
+    X = Rng.uniform(0, 100);
+  for (auto _ : State) {
+    NwsForecaster F;
+    for (double X : Series) {
+      F.observe(X);
+      benchmark::DoNotOptimize(F.predict());
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * Series.size());
+}
+BENCHMARK(BM_NwsForecasterObserve);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+//===- examples/quickstart.cpp - dgsim in 60 lines ---------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The smallest useful dgsim program: build a two-site Data Grid, publish
+/// a file with two replicas, let the paper's cost model pick one, and
+/// fetch it with parallel GridFTP.
+///
+/// Build and run:
+///   cmake --build build --target quickstart && ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "grid/DataGrid.h"
+#include "replica/ReplicaSelector.h"
+#include "support/Table.h"
+#include "support/Units.h"
+
+#include <cstdio>
+
+using namespace dgsim;
+using namespace dgsim::units;
+
+int main() {
+  // 1. Describe the grid: two sites, one WAN link.
+  DataGrid Grid(/*Seed=*/42);
+
+  SiteConfig Lab;
+  Lab.Name = "lab";
+  Lab.Hosts.resize(2);
+  Lab.Hosts[0].Name = "lab0";
+  Lab.Hosts[1].Name = "lab1";
+  Grid.addSite(Lab);
+
+  SiteConfig Campus;
+  Campus.Name = "campus";
+  Campus.Hosts.resize(2);
+  Campus.Hosts[0].Name = "campus0";
+  Campus.Hosts[1].Name = "campus1";
+  Campus.Hosts[1].CpuMeanLoad = 0.7; // One busy server.
+  Grid.addSite(Campus);
+
+  Grid.connectSites("lab", "campus", mbps(100), units::milliseconds(8),
+                    /*Loss=*/0.0002);
+  Grid.finalize();
+
+  // 2. Publish a 512 MB dataset with replicas on both campus hosts.
+  Grid.catalog().registerFile("dataset", megabytes(512));
+  Grid.catalog().addReplica("dataset", *Grid.findHost("campus0"));
+  Grid.catalog().addReplica("dataset", *Grid.findHost("campus1"));
+
+  // 3. Let the monitoring settle, then pick the best replica for lab0.
+  Grid.sim().runUntil(30.0);
+  CostModelPolicy Policy; // The paper's 80/10/10 weights.
+  ReplicaSelector Selector(Grid.catalog(), Grid.info(), Policy);
+  Host *Client = Grid.findHost("lab0");
+  SelectionResult Sel = Selector.select(Client->node(), "dataset");
+
+  Table T;
+  T.setHeader({"candidate", "P_bw", "P_cpu", "P_io", "score"});
+  for (const CandidateReport &C : Sel.Candidates) {
+    T.beginRow();
+    T.add(C.Candidate->name());
+    T.add(C.Factors.BwFraction, 3);
+    T.add(C.Factors.CpuIdle, 3);
+    T.add(C.Factors.IoIdle, 3);
+    T.add(C.Score, 3);
+  }
+  T.print(stdout);
+  std::printf("\nselected replica: %s\n\n", Sel.Chosen->name().c_str());
+
+  // 4. Fetch it with 4-stream GridFTP and report.
+  TransferSpec Spec;
+  Spec.Source = Sel.Chosen;
+  Spec.Destination = Client;
+  Spec.FileBytes = Grid.catalog().fileSize("dataset");
+  Spec.Protocol = TransferProtocol::GridFtpModeE;
+  Spec.Streams = 4;
+  Grid.transfers().submit(Spec, [](const TransferResult &R) {
+    std::printf("transfer finished: %s in %s (startup %.2f s, mean %s)\n",
+                fmt::bytes(R.FileBytes).c_str(),
+                fmt::seconds(R.totalSeconds()).c_str(), R.StartupSeconds,
+                fmt::rate(R.meanThroughput()).c_str());
+  });
+  Grid.sim().run();
+  return 0;
+}

@@ -1,0 +1,149 @@
+//===- grid/DataGrid.cpp -----------------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "grid/DataGrid.h"
+
+#include <cassert>
+
+using namespace dgsim;
+
+DataGrid::DataGrid(uint64_t Seed, InformationServiceConfig InfoConfig,
+                   ProtocolCosts Costs)
+    : Sim(Seed), InfoConfig(InfoConfig), Costs(Costs) {}
+
+DataGrid::~DataGrid() = default;
+
+Site &DataGrid::addSite(const SiteConfig &Config) {
+  assert(!finalized() && "cannot add sites after finalize()");
+  assert(!Config.Name.empty() && "sites need a name");
+  assert(!Config.Hosts.empty() && "sites need at least one host");
+  assert(!findSite(Config.Name) && "duplicate site name");
+
+  NodeId Switch = Topo.addNode(Config.Name + "-sw");
+  auto S = std::make_unique<Site>(Config.Name, Switch);
+  for (const SiteHostSpec &Spec : Config.Hosts) {
+    NodeId Node = Topo.addNode(Spec.Name);
+    Topo.addLink(Node, Switch, Config.LanCapacity, Config.LanDelay,
+                 Config.LanLoss);
+    HostConfig HC;
+    HC.Name = Spec.Name;
+    HC.CpuSpeed = Spec.CpuSpeed;
+    HC.NicRate = Spec.NicRate;
+    HC.MemoryBytes = Spec.MemoryBytes;
+    HC.Cpu.MeanLoad = Spec.CpuMeanLoad;
+    HC.Cpu.Volatility = Spec.LoadVolatility;
+    HC.Memory.MeanLoad = Spec.MemMeanLoad;
+    HC.Memory.Volatility = Spec.LoadVolatility;
+    HC.DiskCfg.ReadRate = Spec.DiskReadRate;
+    HC.DiskCfg.WriteRate = Spec.DiskWriteRate;
+    HC.DiskCfg.Background.MeanLoad = Spec.IoMeanLoad;
+    HC.DiskCfg.Background.Volatility = Spec.LoadVolatility;
+    S->Hosts.push_back(std::make_unique<Host>(Sim, HC, Node));
+  }
+  Sites.push_back(std::move(S));
+  return *Sites.back();
+}
+
+NodeId DataGrid::addBackboneNode(const std::string &Name) {
+  assert(!finalized() && "cannot grow the topology after finalize()");
+  return Topo.addNode(Name);
+}
+
+void DataGrid::connectSites(const std::string &A, const std::string &B,
+                            BitRate Capacity, SimTime Delay, double Loss) {
+  assert(!finalized() && "cannot grow the topology after finalize()");
+  Site *SA = findSite(A);
+  Site *SB = findSite(B);
+  assert(SA && SB && "connectSites on unknown site names");
+  Topo.addLink(SA->switchNode(), SB->switchNode(), Capacity, Delay, Loss);
+}
+
+void DataGrid::connectToBackbone(const std::string &SiteName, NodeId Backbone,
+                                 BitRate Capacity, SimTime Delay,
+                                 double Loss) {
+  assert(!finalized() && "cannot grow the topology after finalize()");
+  Site *S = findSite(SiteName);
+  assert(S && "connectToBackbone on an unknown site name");
+  Topo.addLink(S->switchNode(), Backbone, Capacity, Delay, Loss);
+}
+
+void DataGrid::finalize() {
+  assert(!finalized() && "finalize() called twice");
+  Router = std::make_unique<Routing>(Topo);
+  Net = std::make_unique<FlowNetwork>(Sim, Topo, *Router, Tcp);
+  InfoService = std::make_unique<InformationService>(Sim, *Net, InfoConfig);
+  Transfers = std::make_unique<TransferManager>(Sim, *Net, Costs);
+  Transfers->setTrace(&Trace);
+  for (auto &S : Sites)
+    for (auto &H : S->Hosts)
+      InfoService->registerHost(*H);
+}
+
+FlowNetwork &DataGrid::network() {
+  assert(finalized() && "network() before finalize()");
+  return *Net;
+}
+
+InformationService &DataGrid::info() {
+  assert(finalized() && "info() before finalize()");
+  return *InfoService;
+}
+
+TransferManager &DataGrid::transfers() {
+  assert(finalized() && "transfers() before finalize()");
+  return *Transfers;
+}
+
+Site *DataGrid::findSite(const std::string &Name) {
+  for (auto &S : Sites)
+    if (S->name() == Name)
+      return S.get();
+  return nullptr;
+}
+
+Host *DataGrid::findHost(const std::string &Name) {
+  for (auto &S : Sites)
+    for (auto &H : S->Hosts)
+      if (H->name() == Name)
+        return H.get();
+  return nullptr;
+}
+
+Site *DataGrid::siteOf(const Host &H) {
+  for (auto &S : Sites)
+    for (auto &Member : S->Hosts)
+      if (Member.get() == &H)
+        return S.get();
+  return nullptr;
+}
+
+std::vector<Host *> DataGrid::allHosts() {
+  std::vector<Host *> Result;
+  for (auto &S : Sites)
+    for (auto &H : S->Hosts)
+      Result.push_back(H.get());
+  return Result;
+}
+
+CrossTraffic &DataGrid::addCrossTraffic(const std::string &FromSite,
+                                        const std::string &ToSite,
+                                        SimTime MeanInterarrival,
+                                        Bytes MinFlowBytes,
+                                        unsigned Streams) {
+  assert(finalized() && "addCrossTraffic() before finalize()");
+  Site *From = findSite(FromSite);
+  Site *To = findSite(ToSite);
+  assert(From && To && "addCrossTraffic on unknown site names");
+  CrossTrafficConfig C;
+  C.Src = From->switchNode();
+  C.Dst = To->switchNode();
+  C.MeanInterarrival = MeanInterarrival;
+  C.MinFlowBytes = MinFlowBytes;
+  C.Streams = Streams;
+  Traffic.push_back(std::make_unique<CrossTraffic>(Sim, *Net, C));
+  Traffic.back()->start();
+  return *Traffic.back();
+}

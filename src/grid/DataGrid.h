@@ -1,0 +1,175 @@
+//===- grid/DataGrid.h - The Data Grid facade -------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One object owning a complete simulated Data Grid: the event kernel, the
+/// network, sites of hosts, the monitoring services, the replica catalog
+/// and the transfer service.  Typical use:
+///
+/// \code
+///   DataGrid Grid(Seed);
+///   Site &Thu = Grid.addSite({"thu", ...});
+///   Grid.connectSites("thu", "hit", units::gbps(1), 0.002, 5e-5);
+///   Grid.finalize();
+///   Grid.catalog().registerFile("file-a", units::megabytes(1024));
+///   ...
+///   Grid.sim().run();
+/// \endcode
+///
+/// Build methods (addSite / connect*) must all happen before finalize();
+/// services are available only after.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_GRID_DATAGRID_H
+#define DGSIM_GRID_DATAGRID_H
+
+#include "gridftp/TransferManager.h"
+#include "monitor/InformationService.h"
+#include "net/CrossTraffic.h"
+#include "replica/ReplicaCatalog.h"
+#include "support/Trace.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dgsim {
+
+/// Per-host knobs within a site description.
+struct SiteHostSpec {
+  std::string Name;
+  /// Relative CPU speed (1.0 = P4 2.8 GHz class).
+  double CpuSpeed = 1.0;
+  BitRate NicRate = 1e9;
+  BitRate DiskReadRate = 400e6;
+  BitRate DiskWriteRate = 320e6;
+  double MemoryBytes = 1024.0 * 1024.0 * 1024.0;
+  /// Operating points of the stochastic load processes.
+  double CpuMeanLoad = 0.2;
+  double IoMeanLoad = 0.1;
+  double MemMeanLoad = 0.4;
+  /// Diffusion of the load processes (0 = frozen at the mean).
+  double LoadVolatility = 0.05;
+};
+
+/// A site (PC cluster): hosts behind a LAN switch.
+struct SiteConfig {
+  std::string Name;
+  std::vector<SiteHostSpec> Hosts;
+  /// LAN link from each host to the site switch.
+  BitRate LanCapacity = 1e9;
+  SimTime LanDelay = 0.0001;
+  double LanLoss = 0.0;
+};
+
+/// A built site: its switch node and live hosts.
+class Site {
+public:
+  Site(std::string Name, NodeId Switch) : Name(std::move(Name)),
+                                          Switch(Switch) {}
+
+  const std::string &name() const { return Name; }
+  NodeId switchNode() const { return Switch; }
+
+  const std::vector<std::unique_ptr<Host>> &hosts() const { return Hosts; }
+  Host &host(size_t I) const { return *Hosts.at(I); }
+  size_t hostCount() const { return Hosts.size(); }
+
+private:
+  friend class DataGrid;
+  std::string Name;
+  NodeId Switch;
+  std::vector<std::unique_ptr<Host>> Hosts;
+};
+
+/// The facade.
+class DataGrid {
+public:
+  explicit DataGrid(uint64_t Seed = 1,
+                    InformationServiceConfig InfoConfig = {},
+                    ProtocolCosts Costs = {});
+  ~DataGrid();
+
+  DataGrid(const DataGrid &) = delete;
+  DataGrid &operator=(const DataGrid &) = delete;
+
+  //===--------------------------------------------------------------------===//
+  // Build phase
+  //===--------------------------------------------------------------------===//
+
+  /// Creates a site with its switch, hosts and LAN links.
+  Site &addSite(const SiteConfig &Config);
+
+  /// Adds a named interior node (e.g. a WAN backbone router).
+  NodeId addBackboneNode(const std::string &Name);
+
+  /// Joins two sites' switches directly.
+  void connectSites(const std::string &A, const std::string &B,
+                    BitRate Capacity, SimTime Delay, double Loss = 0.0);
+
+  /// Joins a site's switch to a backbone node.
+  void connectToBackbone(const std::string &SiteName, NodeId Backbone,
+                         BitRate Capacity, SimTime Delay, double Loss = 0.0);
+
+  /// Freezes the topology and brings the services up.
+  void finalize();
+
+  //===--------------------------------------------------------------------===//
+  // Run phase
+  //===--------------------------------------------------------------------===//
+
+  bool finalized() const { return Net != nullptr; }
+
+  Simulator &sim() { return Sim; }
+  Topology &topology() { return Topo; }
+
+  /// The grid-wide trace log.  Enable categories before running; the
+  /// transfer manager is wired to it automatically at finalize().
+  TraceLog &trace() { return Trace; }
+  FlowNetwork &network();
+  InformationService &info();
+  ReplicaCatalog &catalog() { return Catalog; }
+  TransferManager &transfers();
+
+  /// \returns the site named \p Name, or nullptr.
+  Site *findSite(const std::string &Name);
+
+  /// \returns the host named \p Name across all sites, or nullptr.
+  Host *findHost(const std::string &Name);
+
+  /// \returns the site a host belongs to, or nullptr for foreign hosts.
+  Site *siteOf(const Host &H);
+
+  /// All hosts of all sites, site order then host order.
+  std::vector<Host *> allHosts();
+
+  /// Starts background traffic between two sites' switches; the generator
+  /// lives as long as the grid.  Must be called after finalize().
+  CrossTraffic &addCrossTraffic(const std::string &FromSite,
+                                const std::string &ToSite,
+                                SimTime MeanInterarrival, Bytes MinFlowBytes,
+                                unsigned Streams = 1);
+
+private:
+  Simulator Sim;
+  Topology Topo;
+  TcpModel Tcp;
+  InformationServiceConfig InfoConfig;
+  ProtocolCosts Costs;
+  std::vector<std::unique_ptr<Site>> Sites;
+  std::unique_ptr<Routing> Router;
+  std::unique_ptr<FlowNetwork> Net;
+  std::unique_ptr<InformationService> InfoService;
+  std::unique_ptr<TransferManager> Transfers;
+  std::vector<std::unique_ptr<CrossTraffic>> Traffic;
+  ReplicaCatalog Catalog;
+  TraceLog Trace;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_GRID_DATAGRID_H

@@ -1,0 +1,289 @@
+//===- gridftp/TransferManager.cpp ------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "gridftp/TransferManager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace dgsim;
+
+void TransferManager::trace(const char *Fmt, ...) const {
+  if (!Trace || !Trace->enabled(TraceCategory::Transfer))
+    return;
+  char Buf[256];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  Trace->record(Sim.now(), TraceCategory::Transfer, Buf);
+}
+
+TransferManager::TransferManager(Simulator &Sim, FlowNetwork &Net,
+                                 ProtocolCosts Costs)
+    : Sim(Sim), Net(Net), Costs(Costs) {
+  RefreshHandle =
+      Sim.schedulePeriodic(RefreshPeriod, [this] { refreshCaps(); });
+}
+
+TransferManager::~TransferManager() { Sim.cancelPeriodic(RefreshHandle); }
+
+TransferId TransferManager::submit(const TransferSpec &Spec,
+                                   CompletionFn OnComplete) {
+  assert(Spec.Destination && "transfers need a destination host");
+  assert((Spec.Source || !Spec.Stripes.empty()) &&
+         "transfers need at least one source host");
+  assert(Spec.FileBytes >= 0.0 && "negative file size");
+  assert(Spec.Streams >= 1 && "need at least one stream");
+  assert((Spec.Protocol == TransferProtocol::GridFtpModeE ||
+          Spec.Streams == 1) &&
+         "parallel streams require MODE E");
+  assert((Spec.Protocol == TransferProtocol::GridFtpModeE ||
+          Spec.Stripes.size() <= 1) &&
+         "striped transfers require MODE E");
+  assert((!Spec.Range || Spec.Protocol != TransferProtocol::Ftp) &&
+         "partial file transfer is a GridFTP extension");
+  assert((!Spec.Range ||
+          (Spec.Range->Offset >= 0.0 && Spec.Range->Length > 0.0 &&
+           Spec.Range->Offset + Spec.Range->Length <=
+               Spec.FileBytes + 1e-6)) &&
+         "byte range outside the file");
+
+  TransferId Id = NextId++;
+  ActiveTransfer T;
+  T.Spec = Spec;
+  T.OnComplete = std::move(OnComplete);
+  T.Result.Id = Id;
+  T.Result.Protocol = Spec.Protocol;
+  T.Result.Streams = Spec.Streams;
+  T.Result.FileBytes = Spec.Range ? Spec.Range->Length : Spec.FileBytes;
+  T.Result.StartTime = Sim.now();
+
+  // The control dialogue runs between the control client (or the
+  // destination, in the common client-pull case) and the primary source.
+  Host *PrimarySource = Spec.Source ? Spec.Source : Spec.Stripes.front();
+  NodeId ControlNode = Spec.ControlClient != InvalidNodeId
+                           ? Spec.ControlClient
+                           : Spec.Destination->node();
+  auto ControlPath = Net.routing().path(ControlNode, PrimarySource->node());
+  assert(ControlPath && "control client cannot reach the source");
+
+  double SlowerCpu = std::min(PrimarySource->config().CpuSpeed,
+                              Spec.Destination->config().CpuSpeed);
+  SimTime Startup = protocolStartupTime(
+      Spec.Protocol, Costs, *ControlPath,
+      Net.tcp().connectTime(*ControlPath), SlowerCpu);
+  // Third-party transfers also cost a dialogue leg to the destination; the
+  // two legs overlap except for the final coordinated STOR/RETR exchange.
+  if (Spec.ControlClient != InvalidNodeId &&
+      Spec.ControlClient != Spec.Destination->node()) {
+    auto DstPath = Net.routing().path(ControlNode, Spec.Destination->node());
+    assert(DstPath && "control client cannot reach the destination");
+    Startup += DstPath->Rtt;
+  }
+  T.Result.StartupSeconds = Startup;
+
+  trace("#%llu submit %s %s -> %s, %.0f MB, %u stream(s), startup %.3f s",
+        static_cast<unsigned long long>(Id),
+        transferProtocolName(Spec.Protocol), PrimarySource->name().c_str(),
+        Spec.Destination->name().c_str(),
+        T.Result.FileBytes / (1024.0 * 1024.0), Spec.Streams, Startup);
+  Active.emplace(Id, std::move(T));
+  Sim.schedule(Startup, [this, Id] { beginData(Id); });
+  return Id;
+}
+
+void TransferManager::beginData(TransferId Id) {
+  auto It = Active.find(Id);
+  if (It == Active.end())
+    return; // Cancelled during the startup phase.
+  ActiveTransfer &T = It->second;
+
+  std::vector<Host *> Sources = T.Spec.Stripes;
+  if (Sources.empty())
+    Sources.push_back(T.Spec.Source);
+
+  Bytes WireBytes =
+      protocolWireBytes(T.Spec.Protocol, Costs, T.Result.FileBytes);
+  std::vector<double> Weights = T.Spec.StripeWeights;
+  if (Weights.empty()) {
+    Weights.assign(Sources.size(), 1.0);
+  } else {
+    assert(Weights.size() == Sources.size() &&
+           "stripe weights must match the stripe list");
+  }
+  double TotalWeight = 0.0;
+  for (double W : Weights) {
+    assert(W > 0.0 && "stripe weights must be positive");
+    TotalWeight += W;
+  }
+
+  T.StripesRemaining = Sources.size();
+  T.StripesLive.resize(Sources.size());
+  for (size_t I = 0, E = Sources.size(); I != E; ++I) {
+    Stripe &S = T.StripesLive[I];
+    S.Source = Sources[I];
+    S.WireBytes = WireBytes * Weights[I] / TotalWeight;
+    startStripeFlow(Id, I, S.WireBytes);
+  }
+}
+
+void TransferManager::startStripeFlow(TransferId Id, size_t StripeIdx,
+                                      Bytes Volume) {
+  ActiveTransfer &T = Active.at(Id);
+  Stripe &S = T.StripesLive[StripeIdx];
+  FlowOptions Opt;
+  Opt.Streams = T.Spec.Streams;
+  Opt.EndpointCap =
+      endpointCap(*S.Source, *T.Spec.Destination, /*CountSelf=*/true);
+  S.Flow = Net.startFlow(
+      S.Source->node(), T.Spec.Destination->node(), Volume, Opt,
+      [this, Id, StripeIdx](const FlowStats &) {
+        onStripeDone(Id, StripeIdx);
+      });
+}
+
+void TransferManager::onStripeDone(TransferId Id, size_t StripeIdx) {
+  auto It = Active.find(Id);
+  assert(It != Active.end() && "stripe completion for unknown transfer");
+  ActiveTransfer &T = It->second;
+  Stripe &S = T.StripesLive[StripeIdx];
+
+  // Undo this stripe's disk accounting.
+  S.Source->disk().removeTransferLoad(S.AccountedRate);
+  T.Spec.Destination->disk().removeTransferLoad(S.AccountedRate);
+  S.AccountedRate = 0.0;
+  S.Flow = InvalidFlowId;
+
+  assert(T.StripesRemaining > 0 && "stripe count underflow");
+  if (--T.StripesRemaining != 0)
+    return;
+
+  TransferResult Result = T.Result;
+  Result.EndTime = Sim.now();
+  Result.DataSeconds = Result.totalSeconds() - Result.StartupSeconds;
+  CompletionFn Done = std::move(T.OnComplete);
+  Active.erase(It);
+  ++Completed;
+  trace("#%llu done in %.3f s (%.1f Mb/s mean, %u restart(s))",
+        static_cast<unsigned long long>(Result.Id), Result.totalSeconds(),
+        Result.meanThroughput() / 1e6, Result.Restarts);
+  if (Done)
+    Done(Result);
+}
+
+bool TransferManager::cancel(TransferId Id) {
+  auto It = Active.find(Id);
+  if (It == Active.end())
+    return false;
+  ActiveTransfer &T = It->second;
+  for (Stripe &S : T.StripesLive) {
+    if (S.Flow == InvalidFlowId)
+      continue;
+    Net.cancelFlow(S.Flow);
+    S.Source->disk().removeTransferLoad(S.AccountedRate);
+    T.Spec.Destination->disk().removeTransferLoad(S.AccountedRate);
+  }
+  trace("#%llu cancelled", static_cast<unsigned long long>(Id));
+  Active.erase(It);
+  return true;
+}
+
+void TransferManager::injectFailure(TransferId Id) {
+  auto It = Active.find(Id);
+  if (It == Active.end())
+    return;
+  ActiveTransfer &T = It->second;
+
+  auto Path = Net.routing().path(
+      T.StripesLive.empty()
+          ? (T.Spec.Source ? T.Spec.Source : T.Spec.Stripes.front())->node()
+          : T.StripesLive.front().Source->node(),
+      T.Spec.Destination->node());
+  assert(Path && "transfer endpoints became disconnected");
+
+  for (size_t I = 0, E = T.StripesLive.size(); I != E; ++I) {
+    Stripe &S = T.StripesLive[I];
+    if (S.Flow == InvalidFlowId)
+      continue; // This stripe already finished (or startup phase).
+    Bytes Remaining = Net.remainingBytes(S.Flow);
+    Net.cancelFlow(S.Flow);
+    S.Flow = InvalidFlowId;
+    S.Source->disk().removeTransferLoad(S.AccountedRate);
+    T.Spec.Destination->disk().removeTransferLoad(S.AccountedRate);
+    S.AccountedRate = 0.0;
+    ++T.Result.Restarts;
+
+    // GridFTP writes restart markers as blocks land: the retry resumes at
+    // the last marker.  Plain FTP restarts the partition from scratch.
+    bool Resumable = T.Spec.Protocol != TransferProtocol::Ftp;
+    Bytes RetryVolume = Resumable ? Remaining : S.WireBytes;
+    trace("#%llu stripe %zu failed; %s %.0f MB",
+          static_cast<unsigned long long>(Id), I,
+          Resumable ? "resuming remaining" : "restarting full",
+          RetryVolume / (1024.0 * 1024.0));
+    // Reconnect: a fresh data connection plus one control round trip to
+    // re-issue RETR (with a REST marker when resumable).
+    SimTime Delay = Net.tcp().connectTime(*Path) + Path->Rtt;
+    Sim.schedule(Delay, [this, Id, I, RetryVolume] {
+      // The transfer may have been torn down meanwhile.
+      if (Active.find(Id) == Active.end())
+        return;
+      startStripeFlow(Id, I, RetryVolume);
+    });
+  }
+}
+
+BitRate TransferManager::endpointCap(const Host &Src, const Host &Dst,
+                                     bool CountSelf) const {
+  // When the flow being capped is not yet live it must be counted among
+  // the sharers explicitly; on refresh it already is.
+  unsigned Extra = CountSelf ? 1 : 0;
+  BitRate SrcCap = Src.sourceCap(std::max(activeReaders(Src) + Extra, 1u));
+  BitRate DstCap = Dst.sinkCap(std::max(activeWriters(Dst) + Extra, 1u));
+  return std::min(SrcCap, DstCap);
+}
+
+unsigned TransferManager::activeReaders(const Host &H) const {
+  unsigned N = 0;
+  for (const auto &[Id, T] : Active)
+    for (const Stripe &S : T.StripesLive)
+      if (S.Flow != InvalidFlowId && S.Source == &H)
+        ++N;
+  return N;
+}
+
+unsigned TransferManager::activeWriters(const Host &H) const {
+  unsigned N = 0;
+  for (const auto &[Id, T] : Active)
+    if (T.Spec.Destination == &H)
+      for (const Stripe &S : T.StripesLive)
+        if (S.Flow != InvalidFlowId)
+          ++N;
+  return N;
+}
+
+void TransferManager::refreshCaps() {
+  for (auto &[Id, T] : Active) {
+    for (Stripe &S : T.StripesLive) {
+      if (S.Flow == InvalidFlowId)
+        continue;
+      // Mirror the current payload rate into the endpoint disks so the
+      // sysstat/iostat sensors see grid traffic.
+      BitRate Rate = Net.currentRate(S.Flow);
+      S.Source->disk().removeTransferLoad(S.AccountedRate);
+      T.Spec.Destination->disk().removeTransferLoad(S.AccountedRate);
+      S.Source->disk().addTransferLoad(Rate);
+      T.Spec.Destination->disk().addTransferLoad(Rate);
+      S.AccountedRate = Rate;
+      // Re-derive the endpoint cap from the hosts' current state.
+      Net.setEndpointCap(S.Flow, endpointCap(*S.Source, *T.Spec.Destination,
+                                             /*CountSelf=*/false));
+    }
+  }
+}

@@ -1,0 +1,53 @@
+//===- host/CpuLoadModel.cpp -----------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "host/CpuLoadModel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace dgsim;
+
+CpuLoadModel::CpuLoadModel(Simulator &Sim, CpuLoadConfig Config)
+    : Sim(Sim), Config(Config), Rng(Sim.forkRng()),
+      BaseLoad(Config.MeanLoad) {
+  assert(Config.MeanLoad >= 0.0 && Config.MeanLoad <= 1.0 &&
+         "mean load outside [0, 1]");
+  assert(Config.UpdatePeriod > 0.0 && "non-positive update period");
+  TickHandle = Sim.schedulePeriodic(Config.UpdatePeriod, [this] { tick(); });
+  if (Config.BurstMeanInterarrival > 0.0)
+    scheduleBurst();
+}
+
+CpuLoadModel::~CpuLoadModel() {
+  Sim.cancelPeriodic(TickHandle);
+  if (BurstArrival != InvalidEventId)
+    Sim.cancel(BurstArrival);
+}
+
+double CpuLoadModel::load() const {
+  return std::clamp(BaseLoad + ActiveBursts * Config.BurstLoad, 0.0, 1.0);
+}
+
+void CpuLoadModel::tick() {
+  // Euler-Maruyama step of the OU SDE, clipped to the unit interval.
+  double Dt = Config.UpdatePeriod;
+  BaseLoad += Config.Reversion * (Config.MeanLoad - BaseLoad) * Dt +
+              Config.Volatility * std::sqrt(Dt) * Rng.normal(0.0, 1.0);
+  BaseLoad = std::clamp(BaseLoad, 0.0, 1.0);
+}
+
+void CpuLoadModel::scheduleBurst() {
+  SimTime Gap = Rng.exponential(Config.BurstMeanInterarrival);
+  BurstArrival = Sim.scheduleDaemon(Gap, [this] {
+    BurstArrival = InvalidEventId;
+    ActiveBursts += 1.0;
+    SimTime Duration = Rng.exponential(Config.BurstMeanDuration);
+    Sim.scheduleDaemon(Duration, [this] { ActiveBursts -= 1.0; });
+    scheduleBurst();
+  });
+}

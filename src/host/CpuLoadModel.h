@@ -1,0 +1,77 @@
+//===- host/CpuLoadModel.h - Stochastic CPU utilisation -------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-host CPU utilisation as a mean-reverting stochastic process.
+///
+/// The paper treats CPU load as "a dynamic system factor" measured through
+/// MDS: grid hosts run local cluster jobs, so utilisation wanders around a
+/// site-specific operating point.  We model it as a clipped
+/// Ornstein-Uhlenbeck process updated on a fixed tick, optionally overlaid
+/// with Poisson job bursts that pin the CPU near 100% for an exponential
+/// duration — the "somebody started a BLAST run" event.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_HOST_CPULOADMODEL_H
+#define DGSIM_HOST_CPULOADMODEL_H
+
+#include "sim/Simulator.h"
+#include "support/Random.h"
+
+namespace dgsim {
+
+/// Parameters of the load process.
+struct CpuLoadConfig {
+  /// Long-run mean utilisation in [0, 1].
+  double MeanLoad = 0.3;
+  /// Mean-reversion speed (1/seconds).
+  double Reversion = 0.05;
+  /// Diffusion strength per sqrt(second).
+  double Volatility = 0.05;
+  /// Tick period, seconds.
+  SimTime UpdatePeriod = 1.0;
+  /// Mean time between burst jobs, seconds (0 disables bursts).
+  SimTime BurstMeanInterarrival = 0.0;
+  /// Mean burst duration, seconds.
+  SimTime BurstMeanDuration = 30.0;
+  /// Extra utilisation a burst adds (result is clipped to [0, 1]).
+  double BurstLoad = 0.6;
+};
+
+/// A live CPU-load process attached to a simulator.
+class CpuLoadModel {
+public:
+  CpuLoadModel(Simulator &Sim, CpuLoadConfig Config);
+  ~CpuLoadModel();
+
+  CpuLoadModel(const CpuLoadModel &) = delete;
+  CpuLoadModel &operator=(const CpuLoadModel &) = delete;
+
+  /// \returns current utilisation in [0, 1].
+  double load() const;
+
+  /// \returns current idle fraction, the paper's P^CPU factor.
+  double idleFraction() const { return 1.0 - load(); }
+
+  const CpuLoadConfig &config() const { return Config; }
+
+private:
+  void tick();
+  void scheduleBurst();
+
+  Simulator &Sim;
+  CpuLoadConfig Config;
+  RandomEngine Rng;
+  double BaseLoad;      // OU component.
+  double ActiveBursts = 0.0;
+  EventId TickHandle = InvalidEventId;
+  EventId BurstArrival = InvalidEventId;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_HOST_CPULOADMODEL_H

@@ -1,0 +1,107 @@
+//===- host/Host.h - A grid end host ---------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An end host: CPU + disk + NIC, bound to a topology node.
+///
+/// Hosts provide the endpoint rate caps the transfer layer feeds into the
+/// fluid network, and the idle fractions the monitoring layer reports.  The
+/// CPU affects transfer throughput only mildly (the paper: "the CPU and I/O
+/// statuses slightly affect the performance of data transfer"), which the
+/// CpuTransferPenalty factor encodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_HOST_HOST_H
+#define DGSIM_HOST_HOST_H
+
+#include "host/CpuLoadModel.h"
+#include "host/Disk.h"
+#include "net/Topology.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dgsim {
+
+/// Static description of a host.
+struct HostConfig {
+  std::string Name;
+  /// Relative CPU speed (1.0 = the paper's P4 2.8 GHz class machine).
+  double CpuSpeed = 1.0;
+  /// NIC line rate, bits/second.
+  BitRate NicRate = 1e9;
+  /// Physical memory, bytes (NWS also senses available non-paged memory).
+  double MemoryBytes = 1024.0 * 1024.0 * 1024.0;
+  /// Fraction of transfer throughput lost per unit CPU load; about 20%
+  /// at full load matches the "slight effect" observation.
+  double CpuTransferPenalty = 0.2;
+  CpuLoadConfig Cpu;
+  /// Memory-usage process (same clipped-OU machinery as CPU load).
+  CpuLoadConfig Memory;
+  DiskConfig DiskCfg;
+};
+
+/// A live host bound to a topology node.
+class Host {
+public:
+  Host(Simulator &Sim, HostConfig Config, NodeId Node);
+
+  Host(const Host &) = delete;
+  Host &operator=(const Host &) = delete;
+
+  const std::string &name() const { return Config.Name; }
+  NodeId node() const { return Node; }
+  const HostConfig &config() const { return Config; }
+
+  /// Current CPU idle fraction — the paper's P^CPU_j.
+  double cpuIdle() const { return Cpu.idleFraction(); }
+
+  /// Current I/O idle fraction — the paper's P^{I/O}_j.
+  double ioIdle() const { return Dsk.idleFraction(); }
+
+  /// Fraction of physical memory currently free (an NWS memory sensor's
+  /// reading).
+  double memFreeFraction() const { return Mem.idleFraction(); }
+
+  /// Free physical memory in bytes.
+  double memFreeBytes() const {
+    return Config.MemoryBytes * memFreeFraction();
+  }
+
+  /// Payload rate this host can source for one more outbound transfer,
+  /// assuming \p ConcurrentReaders transfers (including the new one) read
+  /// the disk: min(NIC, disk share) derated by CPU load.
+  BitRate sourceCap(unsigned ConcurrentReaders = 1) const;
+
+  /// Payload rate this host can absorb for one more inbound transfer.
+  BitRate sinkCap(unsigned ConcurrentWriters = 1) const;
+
+  /// Seconds of CPU time this host needs for \p ReferenceSeconds of work on
+  /// the reference (CpuSpeed = 1) machine, inflated by current load.
+  SimTime computeTime(SimTime ReferenceSeconds) const;
+
+  Disk &disk() { return Dsk; }
+  const Disk &disk() const { return Dsk; }
+  CpuLoadModel &cpu() { return Cpu; }
+  const CpuLoadModel &cpu() const { return Cpu; }
+
+private:
+  double cpuDerate() const {
+    return 1.0 - Config.CpuTransferPenalty * Cpu.load();
+  }
+
+  HostConfig Config;
+  NodeId Node;
+  CpuLoadModel Cpu;
+  CpuLoadModel Mem;
+  Disk Dsk;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_HOST_HOST_H

@@ -1,0 +1,135 @@
+//===- monitor/Forecaster.cpp ----------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "monitor/Forecaster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace dgsim;
+
+LastValueForecaster::LastValueForecaster() : Name("last") {}
+
+RunningMeanForecaster::RunningMeanForecaster() : Name("run_mean") {}
+
+void RunningMeanForecaster::observe(double Value) {
+  Sum += Value;
+  Count += 1.0;
+}
+
+static std::string windowedName(const char *Prefix, size_t Window) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%s(%zu)", Prefix, Window);
+  return std::string(Buf);
+}
+
+SlidingMeanForecaster::SlidingMeanForecaster(size_t Window)
+    : Name(windowedName("sw_mean", Window)), Window(Window) {
+  assert(Window > 0 && "window must be positive");
+}
+
+void SlidingMeanForecaster::observe(double Value) {
+  Values.push_back(Value);
+  Sum += Value;
+  if (Values.size() > Window) {
+    Sum -= Values.front();
+    Values.pop_front();
+  }
+}
+
+double SlidingMeanForecaster::predict() const {
+  return Values.empty() ? 0.0 : Sum / static_cast<double>(Values.size());
+}
+
+SlidingMedianForecaster::SlidingMedianForecaster(size_t Window)
+    : Name(windowedName("sw_median", Window)), Window(Window) {
+  assert(Window > 0 && "window must be positive");
+}
+
+void SlidingMedianForecaster::observe(double Value) {
+  Values.push_back(Value);
+  if (Values.size() > Window)
+    Values.pop_front();
+}
+
+double SlidingMedianForecaster::predict() const {
+  if (Values.empty())
+    return 0.0;
+  std::vector<double> Sorted(Values.begin(), Values.end());
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t N = Sorted.size();
+  if (N % 2 == 1)
+    return Sorted[N / 2];
+  return (Sorted[N / 2 - 1] + Sorted[N / 2]) / 2.0;
+}
+
+ExponentialSmoothingForecaster::ExponentialSmoothingForecaster(double Alpha)
+    : Alpha(Alpha) {
+  assert(Alpha > 0.0 && Alpha <= 1.0 && "gain outside (0, 1]");
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "exp_smooth(%.2f)", Alpha);
+  Name = Buf;
+}
+
+void ExponentialSmoothingForecaster::observe(double Value) {
+  if (!Seen) {
+    Smoothed = Value;
+    Seen = true;
+    return;
+  }
+  Smoothed = Alpha * Value + (1.0 - Alpha) * Smoothed;
+}
+
+NwsForecaster::NwsForecaster() : Name("nws_adaptive") {
+  auto Add = [this](std::unique_ptr<Forecaster> F) {
+    Members.push_back(Member{std::move(F), 0.0});
+  };
+  Add(std::make_unique<LastValueForecaster>());
+  Add(std::make_unique<RunningMeanForecaster>());
+  for (size_t W : {5u, 10u, 20u, 40u})
+    Add(std::make_unique<SlidingMeanForecaster>(W));
+  for (size_t W : {5u, 10u, 20u, 40u})
+    Add(std::make_unique<SlidingMedianForecaster>(W));
+  for (double A : {0.05, 0.25, 0.75})
+    Add(std::make_unique<ExponentialSmoothingForecaster>(A));
+}
+
+void NwsForecaster::observe(double Value) {
+  // Score each member on this observation *before* it sees the value (the
+  // postcast error), then feed the value in.
+  if (Observations != 0) {
+    for (Member &M : Members) {
+      double E = M.Impl->predict() - Value;
+      M.SquaredError += E * E;
+    }
+  }
+  for (Member &M : Members)
+    M.Impl->observe(Value);
+  ++Observations;
+}
+
+size_t NwsForecaster::bestIndex() const {
+  size_t Best = 0;
+  for (size_t I = 1, E = Members.size(); I != E; ++I)
+    if (Members[I].SquaredError < Members[Best].SquaredError)
+      Best = I;
+  return Best;
+}
+
+double NwsForecaster::predict() const {
+  return Members[bestIndex()].Impl->predict();
+}
+
+const std::string &NwsForecaster::bestMemberName() const {
+  return Members[bestIndex()].Impl->name();
+}
+
+double NwsForecaster::memberMse(size_t I) const {
+  assert(I < Members.size() && "member index out of range");
+  size_t Scored = Observations > 1 ? Observations - 1 : 0;
+  return Scored ? Members[I].SquaredError / static_cast<double>(Scored) : 0.0;
+}

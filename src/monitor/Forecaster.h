@@ -1,0 +1,158 @@
+//===- monitor/Forecaster.h - NWS-style forecasting battery ---------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Short-term performance forecasting in the style of the Network Weather
+/// Service (Wolski, Spring & Hayes 1999), which the paper uses to "measure
+/// and predict" network bandwidth "as accurate[ly] as possible".
+///
+/// NWS runs a battery of cheap predictors over each measurement series and,
+/// at each step, reports the prediction of whichever predictor has the
+/// lowest accumulated error so far ("dynamic predictor selection").  We
+/// implement the classic battery: last value, running mean, sliding-window
+/// means and medians of several widths, and exponential smoothing with
+/// several gains, plus the adaptive meta-forecaster.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_MONITOR_FORECASTER_H
+#define DGSIM_MONITOR_FORECASTER_H
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dgsim {
+
+/// One predictor over a scalar measurement stream.  Feed observations with
+/// observe(); read the one-step-ahead forecast with predict().
+class Forecaster {
+public:
+  virtual ~Forecaster() = default;
+
+  /// \returns a short identifier such as "sw_mean(10)".
+  virtual const std::string &name() const = 0;
+
+  /// Incorporates a new observation.
+  virtual void observe(double Value) = 0;
+
+  /// \returns the current one-step-ahead forecast; 0 before the first
+  /// observation.
+  virtual double predict() const = 0;
+};
+
+/// Forecasts the most recent observation.
+class LastValueForecaster final : public Forecaster {
+public:
+  LastValueForecaster();
+  const std::string &name() const override { return Name; }
+  void observe(double Value) override { Last = Value; }
+  double predict() const override { return Last; }
+
+private:
+  std::string Name;
+  double Last = 0.0;
+};
+
+/// Forecasts the mean of the entire history.
+class RunningMeanForecaster final : public Forecaster {
+public:
+  RunningMeanForecaster();
+  const std::string &name() const override { return Name; }
+  void observe(double Value) override;
+  double predict() const override { return Count ? Sum / Count : 0.0; }
+
+private:
+  std::string Name;
+  double Sum = 0.0;
+  double Count = 0.0;
+};
+
+/// Forecasts the mean of the last \p Window observations.
+class SlidingMeanForecaster final : public Forecaster {
+public:
+  explicit SlidingMeanForecaster(size_t Window);
+  const std::string &name() const override { return Name; }
+  void observe(double Value) override;
+  double predict() const override;
+
+private:
+  std::string Name;
+  size_t Window;
+  std::deque<double> Values;
+  double Sum = 0.0;
+};
+
+/// Forecasts the median of the last \p Window observations.
+class SlidingMedianForecaster final : public Forecaster {
+public:
+  explicit SlidingMedianForecaster(size_t Window);
+  const std::string &name() const override { return Name; }
+  void observe(double Value) override;
+  double predict() const override;
+
+private:
+  std::string Name;
+  size_t Window;
+  std::deque<double> Values;
+};
+
+/// Exponentially smoothed forecast with gain \p Alpha in (0, 1].
+class ExponentialSmoothingForecaster final : public Forecaster {
+public:
+  explicit ExponentialSmoothingForecaster(double Alpha);
+  const std::string &name() const override { return Name; }
+  void observe(double Value) override;
+  double predict() const override { return Smoothed; }
+
+private:
+  std::string Name;
+  double Alpha;
+  double Smoothed = 0.0;
+  bool Seen = false;
+};
+
+/// The NWS meta-forecaster: runs the whole battery, tracks each member's
+/// mean squared error over the stream seen so far, and forwards the
+/// prediction of the current winner.
+class NwsForecaster final : public Forecaster {
+public:
+  /// Builds the default battery (13 predictors).
+  NwsForecaster();
+
+  const std::string &name() const override { return Name; }
+  void observe(double Value) override;
+  double predict() const override;
+
+  /// \returns the name of the member with the lowest MSE so far.
+  const std::string &bestMemberName() const;
+
+  /// \returns the current MSE of member \p I (battery order).
+  double memberMse(size_t I) const;
+
+  /// \returns the battery size.
+  size_t memberCount() const { return Members.size(); }
+
+  /// \returns the number of observations consumed.
+  size_t observationCount() const { return Observations; }
+
+private:
+  struct Member {
+    std::unique_ptr<Forecaster> Impl;
+    double SquaredError = 0.0;
+  };
+
+  size_t bestIndex() const;
+
+  std::string Name;
+  std::vector<Member> Members;
+  size_t Observations = 0;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_MONITOR_FORECASTER_H

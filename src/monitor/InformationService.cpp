@@ -1,0 +1,152 @@
+//===- monitor/InformationService.cpp ---------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "monitor/InformationService.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace dgsim;
+
+static uint64_t pathKey(NodeId Client, NodeId Server) {
+  return (static_cast<uint64_t>(Client) << 32) | Server;
+}
+
+InformationService::InformationService(Simulator &Sim, FlowNetwork &Net,
+                                       InformationServiceConfig Config)
+    : Sim(Sim), Net(Net), Config(Config), Memory(Names) {
+  assert(Config.BandwidthPeriod > 0.0 && Config.HostPeriod > 0.0 &&
+         "sensor periods must be positive");
+}
+
+void InformationService::registerHost(const Host &H) {
+  assert(Hosts.find(H.name()) == Hosts.end() && "host already registered");
+  HostSensors S;
+  S.Cpu = std::make_unique<Sensor>(Sim, "cpu/" + H.name(), Config.HostPeriod,
+                                   [&H] { return H.cpuIdle(); });
+  S.Io = std::make_unique<Sensor>(Sim, "io/" + H.name(), Config.HostPeriod,
+                                  [&H] { return H.ioIdle(); });
+  S.Mem = std::make_unique<Sensor>(Sim, "mem/" + H.name(),
+                                   Config.HostPeriod,
+                                   [&H] { return H.memFreeFraction(); });
+  // Prime the series so queries before the first tick see a value.
+  S.Cpu->sampleNow();
+  S.Io->sampleNow();
+  S.Mem->sampleNow();
+  Names.registerSensor(*S.Cpu, "cpu", H.name());
+  Names.registerSensor(*S.Io, "io", H.name());
+  Names.registerSensor(*S.Mem, "memory", H.name());
+  Hosts.emplace(H.name(), std::move(S));
+}
+
+void InformationService::watchPath(NodeId Client, NodeId Server) {
+  uint64_t Key = pathKey(Client, Server);
+  if (Paths.find(Key) != Paths.end())
+    return;
+  // The bandwidth sensor measures what one more well-provisioned GridFTP
+  // transfer would obtain right now (a multi-stream probe, as NWS
+  // deployments tuned for GridFTP used large probe messages).
+  auto Probe = [this, Client, Server] {
+    BitRate R = Net.probeBandwidth(Server, Client, /*Streams=*/4);
+    // A same-node path is unbounded; store a finite sentinel so the
+    // forecaster arithmetic stays well defined.
+    return std::min(R, 1e12);
+  };
+  // The latency sensor reports the base RTT inflated by congestion:
+  // queueing delay rises as the path's residual bandwidth vanishes.  The
+  // residual is measured with a many-stream probe so TCP window limits
+  // (which do not indicate congestion) do not masquerade as load.
+  auto Ping = [this, Client, Server] {
+    auto Path = Net.routing().path(Server, Client);
+    if (!Path || Path->Channels.empty())
+      return 0.0;
+    double Goodput =
+        Path->BottleneckCapacity * Net.tcp().goodputFactor();
+    double Residual = Net.probeBandwidth(Server, Client, /*Streams=*/16);
+    double Utilisation =
+        Goodput > 0.0 ? 1.0 - std::min(Residual / Goodput, 1.0) : 0.0;
+    return Path->Rtt * (1.0 + 0.8 * Utilisation);
+  };
+  std::string Suffix =
+      std::to_string(Server) + "->" + std::to_string(Client);
+  PathSensors PS;
+  PS.Bandwidth = std::make_unique<Sensor>(
+      Sim, "bw/" + Suffix, Config.BandwidthPeriod, std::move(Probe));
+  PS.Latency = std::make_unique<Sensor>(
+      Sim, "lat/" + Suffix, Config.BandwidthPeriod, std::move(Ping));
+  PS.Bandwidth->sampleNow();
+  PS.Latency->sampleNow();
+  Names.registerSensor(*PS.Bandwidth, "bandwidth", Suffix);
+  Names.registerSensor(*PS.Latency, "latency", Suffix);
+  Paths.emplace(Key, std::move(PS));
+}
+
+SystemFactors InformationService::query(NodeId ClientNode,
+                                        const Host &Candidate) {
+  watchPath(ClientNode, Candidate.node());
+  const Sensor *Bw = bandwidthSensor(ClientNode, Candidate.node());
+  assert(Bw && "watchPath did not create a sensor");
+
+  SystemFactors F;
+  F.PredictedBandwidth = Bw->forecast();
+  auto Path = Net.routing().path(Candidate.node(), ClientNode);
+  F.TheoreticalBandwidth = Path ? Path->BottleneckCapacity : 0.0;
+
+  double Denominator = 0.0;
+  if (Config.Normalization == BwNormalization::ClientAccess) {
+    // The client can never receive faster than its best access link.
+    const Topology &Topo = Net.topology();
+    for (LinkId L : Topo.linksAt(ClientNode))
+      Denominator = std::max(Denominator, Topo.link(L).Capacity);
+  } else {
+    Denominator = F.TheoreticalBandwidth;
+  }
+  if (Candidate.node() == ClientNode || !std::isfinite(Denominator) ||
+      Denominator <= 0.0) {
+    // Local replica (or an isolated client): bandwidth does not bind.
+    F.BwFraction = 1.0;
+  } else {
+    F.BwFraction =
+        std::clamp(F.PredictedBandwidth / Denominator, 0.0, 1.0);
+  }
+  F.CpuIdle = cpuIdle(Candidate);
+  F.IoIdle = ioIdle(Candidate);
+  F.MemFreeFraction = memFree(Candidate);
+  if (const Sensor *Lat = latencySensor(ClientNode, Candidate.node()))
+    F.PredictedLatency = Lat->forecast();
+  return F;
+}
+
+double InformationService::cpuIdle(const Host &H) const {
+  auto It = Hosts.find(H.name());
+  assert(It != Hosts.end() && "host not registered");
+  return It->second.Cpu->lastValue();
+}
+
+double InformationService::ioIdle(const Host &H) const {
+  auto It = Hosts.find(H.name());
+  assert(It != Hosts.end() && "host not registered");
+  return It->second.Io->lastValue();
+}
+
+double InformationService::memFree(const Host &H) const {
+  auto It = Hosts.find(H.name());
+  assert(It != Hosts.end() && "host not registered");
+  return It->second.Mem->lastValue();
+}
+
+const Sensor *InformationService::bandwidthSensor(NodeId Client,
+                                                  NodeId Server) const {
+  auto It = Paths.find(pathKey(Client, Server));
+  return It == Paths.end() ? nullptr : It->second.Bandwidth.get();
+}
+
+const Sensor *InformationService::latencySensor(NodeId Client,
+                                                NodeId Server) const {
+  auto It = Paths.find(pathKey(Client, Server));
+  return It == Paths.end() ? nullptr : It->second.Latency.get();
+}

@@ -1,0 +1,149 @@
+//===- monitor/InformationService.h - MDS-style information server ---------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The information server of the paper's Fig 1: the one service the replica
+/// selection server queries for "the performance of measurements and
+/// predictions" of the three system factors.
+///
+/// It aggregates the monitoring substrate — NWS bandwidth sensors with
+/// adaptive forecasting for links (the paper: bandwidth via NWS), and
+/// CPU/I-O idle sensors for hosts (the paper: CPU via Globus MDS, I/O via
+/// sysstat) — behind a single query:
+///
+///   SystemFactors F = Info.query(ClientNode, CandidateHost);
+///
+/// where F carries exactly the paper's P^BW, P^CPU, P^{I/O} percentages.
+/// Readings are as fresh as the sensor periods allow; staleness is real and
+/// measurable, which is what makes selection occasionally suboptimal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_MONITOR_INFORMATIONSERVICE_H
+#define DGSIM_MONITOR_INFORMATIONSERVICE_H
+
+#include "host/Host.h"
+#include "monitor/NwsRegistry.h"
+#include "monitor/Sensor.h"
+#include "net/FlowNetwork.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace dgsim {
+
+/// How P^BW's denominator ("the highest theoretical bandwidth") is read.
+///
+/// The paper's phrasing admits two interpretations, and the choice matters:
+/// dividing by each path's own capacity (PerPath) makes easily-saturated
+/// slow links score *higher* than gigabit links a TCP probe cannot fill,
+/// which can invert the ranking the paper's Table 1 relies on.  Dividing by
+/// the client's theoretical access bandwidth (ClientAccess) keeps the
+/// denominator constant across candidates, so the factor is monotone in
+/// deliverable bandwidth.  ClientAccess is the default; the ablation bench
+/// bench_ablation_weights demonstrates the difference.
+enum class BwNormalization {
+  /// predicted / client's fastest access link.
+  ClientAccess,
+  /// predicted / path bottleneck capacity (literal per-pair reading).
+  PerPath,
+};
+
+/// The three system factors of the paper's cost model, plus raw context.
+struct SystemFactors {
+  /// P^BW: predicted bandwidth / highest theoretical bandwidth, in [0, 1].
+  double BwFraction = 0.0;
+  /// P^CPU: candidate host CPU idle fraction, in [0, 1].
+  double CpuIdle = 0.0;
+  /// P^{I/O}: candidate host I/O idle fraction, in [0, 1].
+  double IoIdle = 0.0;
+  /// NWS-forecast available bandwidth, bits/second.
+  BitRate PredictedBandwidth = 0.0;
+  /// Bottleneck capacity of the candidate-to-client path.
+  BitRate TheoreticalBandwidth = 0.0;
+  /// NWS-forecast end-to-end latency (RTT inflated by congestion), s.
+  SimTime PredictedLatency = 0.0;
+  /// Candidate's free-memory fraction (NWS memory sensor).
+  double MemFreeFraction = 0.0;
+};
+
+/// Sampling configuration.
+struct InformationServiceConfig {
+  /// Bandwidth probe period (NWS defaults probe tens of seconds apart).
+  SimTime BandwidthPeriod = 10.0;
+  /// Host CPU/IO sampling period (MDS/sysstat granularity).
+  SimTime HostPeriod = 5.0;
+  /// P^BW denominator convention.
+  BwNormalization Normalization = BwNormalization::ClientAccess;
+};
+
+/// Aggregates sensors and answers factor queries.
+class InformationService {
+public:
+  InformationService(Simulator &Sim, FlowNetwork &Net,
+                     InformationServiceConfig Config = {});
+
+  InformationService(const InformationService &) = delete;
+  InformationService &operator=(const InformationService &) = delete;
+
+  /// Registers a host: creates its CPU and I/O sensors.
+  void registerHost(const Host &H);
+
+  /// Ensures a bandwidth sensor exists for Client -> Server; called lazily
+  /// by query() as well.  The nodes must be connected.
+  void watchPath(NodeId Client, NodeId Server);
+
+  /// \returns the current factors for fetching data from \p Candidate to a
+  /// client at \p ClientNode.  The candidate must have been registered.
+  SystemFactors query(NodeId ClientNode, const Host &Candidate);
+
+  /// \returns the latest CPU idle reading for a registered host.
+  double cpuIdle(const Host &H) const;
+
+  /// \returns the latest I/O idle reading for a registered host.
+  double ioIdle(const Host &H) const;
+
+  /// \returns the latest free-memory fraction for a registered host.
+  double memFree(const Host &H) const;
+
+  /// \returns the bandwidth sensor for a watched path (nullptr if absent).
+  const Sensor *bandwidthSensor(NodeId Client, NodeId Server) const;
+
+  /// \returns the latency sensor for a watched path (nullptr if absent).
+  const Sensor *latencySensor(NodeId Client, NodeId Server) const;
+
+  const NwsNameserver &nameserver() const { return Names; }
+  const NwsMemory &memory() const { return Memory; }
+
+  /// \returns the current simulation time (convenience for clients that
+  /// have no direct Simulator reference, e.g. for trace timestamps).
+  SimTime now() const { return Sim.now(); }
+
+private:
+  struct HostSensors {
+    std::unique_ptr<Sensor> Cpu;
+    std::unique_ptr<Sensor> Io;
+    std::unique_ptr<Sensor> Mem;
+  };
+
+  struct PathSensors {
+    std::unique_ptr<Sensor> Bandwidth;
+    std::unique_ptr<Sensor> Latency;
+  };
+
+  Simulator &Sim;
+  FlowNetwork &Net;
+  InformationServiceConfig Config;
+  NwsNameserver Names;
+  NwsMemory Memory;
+  std::map<std::string, HostSensors> Hosts;
+  std::map<uint64_t, PathSensors> Paths;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_MONITOR_INFORMATIONSERVICE_H

@@ -1,0 +1,50 @@
+//===- monitor/NwsRegistry.cpp ---------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "monitor/NwsRegistry.h"
+
+#include <cassert>
+
+using namespace dgsim;
+
+void NwsNameserver::registerSensor(const Sensor &S, std::string Kind,
+                                   std::string Resource) {
+  assert(Records.find(S.name()) == Records.end() &&
+         "duplicate sensor registration");
+  SensorRecord R;
+  R.Name = S.name();
+  R.Kind = std::move(Kind);
+  R.Resource = std::move(Resource);
+  R.Instance = &S;
+  Records.emplace(S.name(), std::move(R));
+}
+
+const SensorRecord *NwsNameserver::lookup(const std::string &Name) const {
+  auto It = Records.find(Name);
+  return It == Records.end() ? nullptr : &It->second;
+}
+
+std::vector<const SensorRecord *>
+NwsNameserver::byKind(const std::string &Kind) const {
+  std::vector<const SensorRecord *> Result;
+  for (const auto &[Name, R] : Records)
+    if (R.Kind == Kind)
+      Result.push_back(&R);
+  return Result;
+}
+
+const TimeSeries *NwsMemory::series(const std::string &SensorName) const {
+  const SensorRecord *R = Names.lookup(SensorName);
+  return R ? &R->Instance->history() : nullptr;
+}
+
+double NwsMemory::latestValue(const std::string &SensorName,
+                              double Fallback) const {
+  const TimeSeries *TS = series(SensorName);
+  if (!TS || TS->empty())
+    return Fallback;
+  return TS->latest().Value;
+}

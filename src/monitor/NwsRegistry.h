@@ -1,0 +1,78 @@
+//===- monitor/NwsRegistry.h - NWS nameserver and memory -------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The naming/persistence half of the NWS deployment the paper runs:
+///
+///   * NwsNameserver -- "implements a naming and discovery service used to
+///     manage a system of nws_sensor and nws_memory";
+///   * NwsMemory     -- "provides persistent storage for the measurement
+///     data collected by the NWS deployment".
+///
+/// Sensors register themselves under a kind ("bandwidth", "cpu", "io") and
+/// a resource label; consumers discover sensors by kind and read their
+/// stored series through the memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_MONITOR_NWSREGISTRY_H
+#define DGSIM_MONITOR_NWSREGISTRY_H
+
+#include "monitor/Sensor.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dgsim {
+
+/// Metadata a nameserver keeps per sensor.
+struct SensorRecord {
+  std::string Name;
+  std::string Kind;     // "bandwidth", "cpu", "io", ...
+  std::string Resource; // e.g. "alpha1->hit0" or "hit0".
+  const Sensor *Instance = nullptr;
+};
+
+/// Naming and discovery for sensors.
+class NwsNameserver {
+public:
+  /// Registers a sensor; names must be unique.
+  void registerSensor(const Sensor &S, std::string Kind,
+                      std::string Resource);
+
+  /// \returns the record for \p Name, or nullptr when unknown.
+  const SensorRecord *lookup(const std::string &Name) const;
+
+  /// \returns all records of the given kind, name-ordered.
+  std::vector<const SensorRecord *> byKind(const std::string &Kind) const;
+
+  size_t size() const { return Records.size(); }
+
+private:
+  std::map<std::string, SensorRecord> Records;
+};
+
+/// Persistent measurement storage: resolves a sensor name to its series.
+class NwsMemory {
+public:
+  explicit NwsMemory(const NwsNameserver &Names) : Names(Names) {}
+
+  /// \returns the stored series for \p SensorName, or nullptr when the
+  /// sensor is unknown.
+  const TimeSeries *series(const std::string &SensorName) const;
+
+  /// \returns the latest value, or \p Fallback when no samples exist.
+  double latestValue(const std::string &SensorName,
+                     double Fallback = 0.0) const;
+
+private:
+  const NwsNameserver &Names;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_MONITOR_NWSREGISTRY_H

@@ -1,0 +1,38 @@
+//===- monitor/Sensor.cpp --------------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "monitor/Sensor.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace dgsim;
+
+Sensor::Sensor(Simulator &Sim, std::string Name, SimTime Period,
+               std::function<double()> Measure, size_t HistoryCapacity)
+    : Sim(Sim), Name(std::move(Name)), Measure(std::move(Measure)),
+      History(HistoryCapacity) {
+  assert(Period > 0.0 && "sensors need a positive period");
+  assert(this->Measure && "sensors need a measurement closure");
+  Periodic = Sim.schedulePeriodic(Period, [this] { sampleNow(); });
+}
+
+Sensor::~Sensor() { Sim.cancelPeriodic(Periodic); }
+
+void Sensor::sampleNow() {
+  double Value = Measure();
+  History.add(Sim.now(), Value);
+  Fc.observe(Value);
+}
+
+double Sensor::lastValue() const {
+  return History.empty() ? 0.0 : History.latest().Value;
+}
+
+SimTime Sensor::lastSampleTime() const {
+  return History.empty() ? -std::numeric_limits<double>::infinity()
+                         : History.latest().Time;
+}

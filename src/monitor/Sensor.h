@@ -1,0 +1,73 @@
+//===- monitor/Sensor.h - Periodic measurement processes -------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The nws_sensor analogue: a process that periodically measures one scalar
+/// (available bandwidth, CPU idle %, I/O idle %), stores the sample in a
+/// TimeSeries (the nws_memory analogue holds these), and feeds an
+/// NwsForecaster so consumers can ask for a prediction instead of a stale
+/// last reading.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_MONITOR_SENSOR_H
+#define DGSIM_MONITOR_SENSOR_H
+
+#include "monitor/Forecaster.h"
+#include "sim/Simulator.h"
+#include "support/TimeSeries.h"
+
+#include <functional>
+#include <string>
+
+namespace dgsim {
+
+/// A periodic sensor over a measurement closure.
+class Sensor {
+public:
+  /// \param Name unique sensor name, e.g. "bw/alpha1->hit0".
+  /// \param Period sampling period, seconds.
+  /// \param Measure closure producing the current value of the resource.
+  /// \param HistoryCapacity samples retained (0 = unbounded).
+  Sensor(Simulator &Sim, std::string Name, SimTime Period,
+         std::function<double()> Measure, size_t HistoryCapacity = 512);
+  ~Sensor();
+
+  Sensor(const Sensor &) = delete;
+  Sensor &operator=(const Sensor &) = delete;
+
+  const std::string &name() const { return Name; }
+
+  /// \returns the most recent sample value; 0 before the first sample.
+  double lastValue() const;
+
+  /// \returns the time of the most recent sample, or -inf when none.
+  SimTime lastSampleTime() const;
+
+  /// \returns the NWS forecast of the next value.
+  double forecast() const { return Fc.predict(); }
+
+  /// \returns the adaptive forecaster (for error introspection).
+  const NwsForecaster &forecaster() const { return Fc; }
+
+  /// \returns the stored measurement history.
+  const TimeSeries &history() const { return History; }
+
+  /// Takes one sample immediately, outside the periodic schedule.
+  void sampleNow();
+
+private:
+  Simulator &Sim;
+  std::string Name;
+  std::function<double()> Measure;
+  TimeSeries History;
+  NwsForecaster Fc;
+  EventId Periodic = InvalidEventId;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_MONITOR_SENSOR_H

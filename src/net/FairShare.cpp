@@ -1,0 +1,103 @@
+//===- net/FairShare.cpp ---------------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/FairShare.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace dgsim;
+
+std::vector<double>
+dgsim::solveMaxMinFairShare(const std::vector<double> &Capacities,
+                            const std::vector<FairShareDemand> &Demands) {
+  const double Inf = std::numeric_limits<double>::infinity();
+  size_t NumRes = Capacities.size();
+  size_t NumDem = Demands.size();
+
+  std::vector<double> Rate(NumDem, 0.0);
+  std::vector<double> Residual = Capacities;
+  std::vector<bool> Active(NumDem, false);
+  size_t ActiveCount = 0;
+
+  for (size_t F = 0; F != NumDem; ++F) {
+    const FairShareDemand &D = Demands[F];
+    assert(D.Weight >= 1.0 && "demand weight must be at least 1");
+    assert(D.Cap >= 0.0 && "negative demand cap");
+    if (D.Resources.empty()) {
+      // Nothing contends: the demand gets its cap outright (possibly +inf
+      // for an uncapped local transfer, which callers treat as "instant").
+      Rate[F] = D.Cap;
+      continue;
+    }
+    for (uint32_t R : D.Resources) {
+      (void)R;
+      assert(R < NumRes && "resource index out of range");
+      assert(Capacities[R] > 0.0 && "resources need positive capacity");
+    }
+    if (D.Cap <= 0.0)
+      continue; // Frozen at zero (e.g. host completely busy).
+    Active[F] = true;
+    ++ActiveCount;
+  }
+
+  // Per-resource sum of active weights.
+  std::vector<double> ActiveWeight(NumRes, 0.0);
+  for (size_t F = 0; F != NumDem; ++F)
+    if (Active[F])
+      for (uint32_t R : Demands[F].Resources)
+        ActiveWeight[R] += Demands[F].Weight;
+
+  // Progressive filling: raise every active rate at a speed proportional to
+  // its weight until a resource saturates or a cap binds, freeze, repeat.
+  while (ActiveCount != 0) {
+    double Delta = Inf;
+    for (size_t R = 0; R != NumRes; ++R)
+      if (ActiveWeight[R] > 0.0)
+        Delta = std::min(Delta, Residual[R] / ActiveWeight[R]);
+    for (size_t F = 0; F != NumDem; ++F)
+      if (Active[F] && std::isfinite(Demands[F].Cap))
+        Delta = std::min(Delta, (Demands[F].Cap - Rate[F]) /
+                                    Demands[F].Weight);
+    if (std::isinf(Delta)) {
+      // No finite constraint remains; active demands are unbounded.
+      for (size_t F = 0; F != NumDem; ++F)
+        if (Active[F])
+          Rate[F] = Inf;
+      break;
+    }
+    assert(Delta >= 0.0 && "progressive filling went backwards");
+
+    for (size_t F = 0; F != NumDem; ++F)
+      if (Active[F])
+        Rate[F] += Demands[F].Weight * Delta;
+    for (size_t R = 0; R != NumRes; ++R)
+      if (ActiveWeight[R] > 0.0)
+        Residual[R] -= ActiveWeight[R] * Delta;
+
+    // Freeze demands that hit their cap or sit on a saturated resource.
+    for (size_t F = 0; F != NumDem; ++F) {
+      if (!Active[F])
+        continue;
+      const FairShareDemand &D = Demands[F];
+      bool CapHit = Rate[F] >= D.Cap * (1.0 - 1e-12);
+      bool Saturated = false;
+      for (uint32_t R : D.Resources)
+        if (Residual[R] <= Capacities[R] * 1e-12) {
+          Saturated = true;
+          break;
+        }
+      if (!CapHit && !Saturated)
+        continue;
+      Active[F] = false;
+      --ActiveCount;
+      for (uint32_t R : D.Resources)
+        ActiveWeight[R] -= D.Weight;
+    }
+  }
+  return Rate;
+}

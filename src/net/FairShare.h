@@ -1,0 +1,55 @@
+//===- net/FairShare.h - Max-min fair rate allocation ----------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Progressive-filling (water-filling) max-min fair allocator.
+///
+/// Given resources (directed link channels) with finite capacities and
+/// demands (flows) that each consume a set of resources up to an individual
+/// rate cap, the solver raises all rates together until each flow is frozen
+/// either by its cap or by a saturated resource.  The result is the unique
+/// max-min fair allocation, the standard fluid abstraction of TCP-fair
+/// bandwidth sharing.
+///
+/// A flow's *weight* counts how many TCP streams it bundles: GridFTP MODE E
+/// with N streams takes an N-times share at a shared bottleneck, which is
+/// the second reason parallel data transfer wins on busy links.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_NET_FAIRSHARE_H
+#define DGSIM_NET_FAIRSHARE_H
+
+#include "support/Units.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dgsim {
+
+/// One demand in a fair-share problem.
+struct FairShareDemand {
+  /// Indices of the resources this demand consumes.
+  std::vector<uint32_t> Resources;
+  /// Upper bound on the allocated rate (use +inf for "unbounded").
+  double Cap = 0.0;
+  /// Relative share weight (number of TCP streams); must be >= 1.
+  double Weight = 1.0;
+};
+
+/// Solves the weighted max-min fair allocation.
+///
+/// \param Capacities per-resource capacity (must be positive).
+/// \param Demands the demand set; demands with empty resource sets are
+///        allocated exactly their cap.
+/// \returns one rate per demand, in demand order.
+std::vector<double>
+solveMaxMinFairShare(const std::vector<double> &Capacities,
+                     const std::vector<FairShareDemand> &Demands);
+
+} // namespace dgsim
+
+#endif // DGSIM_NET_FAIRSHARE_H

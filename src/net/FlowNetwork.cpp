@@ -1,0 +1,268 @@
+//===- net/FlowNetwork.cpp -------------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/FlowNetwork.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace dgsim;
+
+// Flows within this many bytes of done are considered complete (guards
+// against floating-point residue in rate * dt accounting).
+static constexpr Bytes CompletionSlackBytes = 1e-3;
+
+FlowNetwork::FlowNetwork(Simulator &Sim, const Topology &Topo, Routing &Router,
+                         const TcpModel &Tcp)
+    : Sim(Sim), Topo(Topo), Router(Router), Tcp(Tcp) {}
+
+FlowId FlowNetwork::startFlow(NodeId Src, NodeId Dst, Bytes Volume,
+                              const FlowOptions &Options,
+                              CompletionFn OnComplete) {
+  assert(Volume >= 0.0 && "negative flow volume");
+  assert(Options.Streams >= 1 && "flows need at least one stream");
+  std::optional<NetPath> Path = Router.path(Src, Dst);
+  assert(Path && "startFlow between disconnected nodes");
+
+  advanceFlows();
+
+  ActiveFlow F;
+  F.Id = NextFlowId++;
+  F.Src = Src;
+  F.Dst = Dst;
+  F.Path = *Path;
+  F.Total = Volume;
+  F.Remaining = Volume;
+  F.StartTime = Sim.now();
+  F.Weight = static_cast<double>(Options.Streams);
+  F.TcpCap = Tcp.parallelCap(*Path, Options.Streams);
+  F.EndpointCap = Options.EndpointCap;
+  F.Background = Options.Background;
+  F.OnComplete = std::move(OnComplete);
+  FlowId Id = F.Id;
+  Flows.emplace(Id, std::move(F));
+
+  rebalance();
+  return Id;
+}
+
+void FlowNetwork::cancelFlow(FlowId Id) {
+  auto It = Flows.find(Id);
+  if (It == Flows.end())
+    return;
+  advanceFlows();
+  Flows.erase(It);
+  rebalance();
+}
+
+void FlowNetwork::setEndpointCap(FlowId Id, BitRate Cap) {
+  auto It = Flows.find(Id);
+  if (It == Flows.end())
+    return;
+  assert(Cap >= 0.0 && "negative endpoint cap");
+  if (It->second.EndpointCap == Cap)
+    return;
+  advanceFlows();
+  It->second.EndpointCap = Cap;
+  rebalance();
+}
+
+BitRate FlowNetwork::currentRate(FlowId Id) const {
+  auto It = Flows.find(Id);
+  return It == Flows.end() ? 0.0 : It->second.Rate;
+}
+
+Bytes FlowNetwork::remainingBytes(FlowId Id) const {
+  auto It = Flows.find(Id);
+  if (It == Flows.end())
+    return 0.0;
+  // Account for progress since the last rate re-solve.
+  SimTime Dt = Sim.now() - LastAdvance;
+  if (Dt <= 0.0 || It->second.Rate <= 0.0)
+    return It->second.Remaining;
+  if (std::isinf(It->second.Rate))
+    return 0.0;
+  Bytes Rem = It->second.Remaining - It->second.Rate / 8.0 * Dt;
+  return Rem > 0.0 ? Rem : 0.0;
+}
+
+void FlowNetwork::advanceFlows() {
+  SimTime Now = Sim.now();
+  SimTime Dt = Now - LastAdvance;
+  assert(Dt >= 0.0 && "clock moved backwards");
+  if (Dt > 0.0) {
+    for (auto &[Id, F] : Flows) {
+      if (F.Rate <= 0.0)
+        continue;
+      if (std::isinf(F.Rate)) {
+        F.Remaining = 0.0;
+        continue;
+      }
+      F.Remaining -= F.Rate / 8.0 * Dt;
+      if (F.Remaining < 0.0)
+        F.Remaining = 0.0;
+    }
+  }
+  LastAdvance = Now;
+}
+
+bool FlowNetwork::linkEnabled(LinkId Link) const {
+  return DownLinks.find(Link) == DownLinks.end();
+}
+
+void FlowNetwork::setLinkEnabled(LinkId Link, bool Enabled) {
+  assert(Link < Topo.linkCount() && "link id out of range");
+  bool Changed = Enabled ? DownLinks.erase(Link) != 0
+                         : DownLinks.insert(Link).second;
+  if (!Changed)
+    return;
+  advanceFlows();
+  rebalance();
+}
+
+void FlowNetwork::rebalance() {
+  assert(LastAdvance == Sim.now() && "rebalance without advance");
+
+  // Solve the weighted max-min fair allocation over all channels.
+  std::vector<double> Capacities(Topo.channelCount());
+  double Goodput = Tcp.goodputFactor();
+  for (ChannelId Ch = 0; Ch != Capacities.size(); ++Ch)
+    Capacities[Ch] = Topo.channelLink(Ch).Capacity * Goodput;
+
+  auto CrossesDownLink = [this](const NetPath &Path) {
+    for (ChannelId Ch : Path.Channels)
+      if (DownLinks.find(Ch / 2) != DownLinks.end())
+        return true;
+    return false;
+  };
+
+  std::vector<FairShareDemand> Demands;
+  std::vector<ActiveFlow *> Order;
+  Demands.reserve(Flows.size());
+  Order.reserve(Flows.size());
+  for (auto &[Id, F] : Flows) {
+    FairShareDemand D;
+    D.Resources.assign(F.Path.Channels.begin(), F.Path.Channels.end());
+    // A severed path stalls the flow at rate zero until repair.
+    D.Cap = CrossesDownLink(F.Path) ? 0.0
+                                    : std::min(F.TcpCap, F.EndpointCap);
+    D.Weight = F.Weight;
+    Demands.push_back(std::move(D));
+    Order.push_back(&F);
+  }
+  std::vector<double> Rates = solveMaxMinFairShare(Capacities, Demands);
+  for (size_t I = 0, E = Order.size(); I != E; ++I)
+    Order[I]->Rate = Rates[I];
+
+  // Find the earliest completion among flows that are actually moving.
+  if (NextCompletionEvent != InvalidEventId) {
+    Sim.cancel(NextCompletionEvent);
+    NextCompletionEvent = InvalidEventId;
+  }
+  SimTime Earliest = std::numeric_limits<double>::infinity();
+  bool AnyForeground = false;
+  for (ActiveFlow *F : Order) {
+    AnyForeground |= !F->Background;
+    if (F->Remaining <= CompletionSlackBytes || std::isinf(F->Rate)) {
+      Earliest = 0.0;
+      continue;
+    }
+    if (F->Rate <= 0.0)
+      continue; // Stalled; will move when caps change.
+    Earliest = std::min(Earliest, F->Remaining * 8.0 / F->Rate);
+  }
+  if (std::isinf(Earliest)) {
+    if (AnyForeground) {
+      // Every flow is stalled (zero rate: busy endpoints or a down link)
+      // but foreground work is pending: keep Simulator::run() alive with
+      // a watchdog so progress resumes when daemons free capacity.
+      NextCompletionEvent = Sim.schedule(StallRecheckPeriod, [this] {
+        NextCompletionEvent = InvalidEventId;
+        advanceFlows();
+        rebalance();
+      });
+    }
+    return;
+  }
+  auto Fire = [this] {
+    NextCompletionEvent = InvalidEventId;
+    finishDueFlows();
+  };
+  // The completion event keeps run() alive only while a foreground flow is
+  // in flight; pure cross-traffic churn is a daemon activity.
+  NextCompletionEvent = AnyForeground ? Sim.schedule(Earliest, Fire)
+                                      : Sim.scheduleDaemon(Earliest, Fire);
+}
+
+void FlowNetwork::finishDueFlows() {
+  advanceFlows();
+
+  // Collect finished flows first: completion callbacks may start new flows,
+  // which mutates the map.
+  std::vector<ActiveFlow> Done;
+  for (auto It = Flows.begin(); It != Flows.end();) {
+    ActiveFlow &F = It->second;
+    if (F.Remaining <= CompletionSlackBytes || std::isinf(F.Rate)) {
+      Done.push_back(std::move(F));
+      It = Flows.erase(It);
+    } else {
+      ++It;
+    }
+  }
+  rebalance();
+
+  for (ActiveFlow &F : Done) {
+    FlowStats Stats;
+    Stats.Id = F.Id;
+    Stats.Src = F.Src;
+    Stats.Dst = F.Dst;
+    Stats.TotalBytes = F.Total;
+    Stats.StartTime = F.StartTime;
+    Stats.EndTime = Sim.now();
+    if (F.OnComplete)
+      F.OnComplete(Stats);
+  }
+}
+
+BitRate FlowNetwork::probeBandwidth(NodeId Src, NodeId Dst, unsigned Streams,
+                                    BitRate EndpointCap) {
+  std::optional<NetPath> Path = Router.path(Src, Dst);
+  if (!Path)
+    return 0.0;
+
+  std::vector<double> Capacities(Topo.channelCount());
+  double Goodput = Tcp.goodputFactor();
+  for (ChannelId Ch = 0; Ch != Capacities.size(); ++Ch)
+    Capacities[Ch] = Topo.channelLink(Ch).Capacity * Goodput;
+
+  auto CrossesDownLink = [this](const NetPath &P) {
+    for (ChannelId Ch : P.Channels)
+      if (DownLinks.find(Ch / 2) != DownLinks.end())
+        return true;
+    return false;
+  };
+  std::vector<FairShareDemand> Demands;
+  Demands.reserve(Flows.size() + 1);
+  for (auto &[Id, F] : Flows) {
+    FairShareDemand D;
+    D.Resources.assign(F.Path.Channels.begin(), F.Path.Channels.end());
+    D.Cap = CrossesDownLink(F.Path) ? 0.0
+                                    : std::min(F.TcpCap, F.EndpointCap);
+    D.Weight = F.Weight;
+    Demands.push_back(std::move(D));
+  }
+  FairShareDemand Probe;
+  Probe.Resources.assign(Path->Channels.begin(), Path->Channels.end());
+  Probe.Cap = CrossesDownLink(*Path)
+                  ? 0.0
+                  : std::min(Tcp.parallelCap(*Path, Streams), EndpointCap);
+  Probe.Weight = static_cast<double>(Streams);
+  Demands.push_back(std::move(Probe));
+
+  std::vector<double> Rates = solveMaxMinFairShare(Capacities, Demands);
+  return Rates.back();
+}

@@ -1,0 +1,169 @@
+//===- net/FlowNetwork.h - Event-driven fluid flow simulation -------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic heart of the network substrate.
+///
+/// Transfers are *fluid flows*: each active flow progresses at a rate
+/// determined by weighted max-min fair sharing of the channels on its path,
+/// clipped by a per-flow cap (TCP stream bounds and end-host disk/CPU
+/// limits).  Whenever the flow set or a cap changes, all flows are advanced
+/// to the current instant, rates are re-solved, and the next completion is
+/// rescheduled.  This gives exact piecewise-constant rate trajectories
+/// without per-packet simulation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_NET_FLOWNETWORK_H
+#define DGSIM_NET_FLOWNETWORK_H
+
+#include "net/FairShare.h"
+#include "net/Routing.h"
+#include "net/TcpModel.h"
+#include "net/Topology.h"
+#include "sim/Simulator.h"
+
+#include <functional>
+#include <limits>
+#include <map>
+#include <optional>
+#include <unordered_set>
+
+namespace dgsim {
+
+using FlowId = uint64_t;
+inline constexpr FlowId InvalidFlowId = 0;
+
+/// Options controlling a single flow.
+struct FlowOptions {
+  /// Number of parallel TCP streams bundled into the flow (>= 1).
+  unsigned Streams = 1;
+  /// Additional cap from outside the network (end-host disk/NIC/CPU),
+  /// bits/second of payload.  +inf means network-limited only.
+  BitRate EndpointCap = std::numeric_limits<double>::infinity();
+  /// Background flows (cross traffic) do not keep Simulator::run() alive:
+  /// their completion events are daemons.
+  bool Background = false;
+};
+
+/// Completion report for a finished flow.
+struct FlowStats {
+  FlowId Id = InvalidFlowId;
+  NodeId Src = InvalidNodeId;
+  NodeId Dst = InvalidNodeId;
+  Bytes TotalBytes = 0.0;
+  SimTime StartTime = 0.0;
+  SimTime EndTime = 0.0;
+
+  /// Mean payload rate over the flow's lifetime, bits/second.
+  BitRate meanRate() const {
+    SimTime D = EndTime - StartTime;
+    return D > 0.0 ? TotalBytes * 8.0 / D : 0.0;
+  }
+};
+
+/// Event-driven fluid network.  Owns no topology; the topology, router and
+/// TCP model must outlive it.
+class FlowNetwork {
+public:
+  using CompletionFn = std::function<void(const FlowStats &)>;
+
+  FlowNetwork(Simulator &Sim, const Topology &Topo, Routing &Router,
+              const TcpModel &Tcp);
+
+  /// Starts a flow of \p Volume payload bytes from \p Src to \p Dst.
+  /// \p OnComplete fires (once) when the last byte is delivered.  The nodes
+  /// must be connected.  \returns the flow id.
+  FlowId startFlow(NodeId Src, NodeId Dst, Bytes Volume,
+                   const FlowOptions &Options, CompletionFn OnComplete);
+
+  /// Aborts an active flow; its completion callback never fires.
+  /// No-op when the id is not active.
+  void cancelFlow(FlowId Id);
+
+  /// Updates the endpoint cap of an active flow (e.g. the source host's
+  /// disk became busier).  No-op when the id is not active.
+  void setEndpointCap(FlowId Id, BitRate Cap);
+
+  /// \returns the instantaneous rate of an active flow, or 0 when inactive.
+  BitRate currentRate(FlowId Id) const;
+
+  /// \returns remaining payload bytes of an active flow, or 0 when inactive.
+  Bytes remainingBytes(FlowId Id) const;
+
+  /// \returns the number of active flows.
+  size_t activeFlows() const { return Flows.size(); }
+
+  /// Takes a link down or brings it back up.  Flows whose path crosses a
+  /// down link stall at rate zero and resume automatically on repair; they
+  /// are not re-routed (2005-era grids had static routes).
+  void setLinkEnabled(LinkId Link, bool Enabled);
+
+  /// \returns true when the link is up (the default).
+  bool linkEnabled(LinkId Link) const;
+
+  /// Estimates the rate a hypothetical new flow with \p Streams streams and
+  /// cap \p EndpointCap would receive right now from \p Src to \p Dst,
+  /// without disturbing active flows.  This is what an NWS bandwidth probe
+  /// measures.  \returns 0 when the nodes are disconnected.
+  BitRate probeBandwidth(NodeId Src, NodeId Dst, unsigned Streams = 1,
+                         BitRate EndpointCap =
+                             std::numeric_limits<double>::infinity());
+
+  /// \returns the TCP model in use (protocol layers need path arithmetic).
+  const TcpModel &tcp() const { return Tcp; }
+
+  /// \returns the topology flows run over.
+  const Topology &topology() const { return Topo; }
+
+  /// \returns the router (protocol layers query RTTs for handshakes).
+  Routing &routing() { return Router; }
+
+  /// How often fully stalled foreground flows re-check for capacity.
+  static constexpr SimTime StallRecheckPeriod = 1.0;
+
+private:
+  struct ActiveFlow {
+    FlowId Id;
+    NodeId Src;
+    NodeId Dst;
+    NetPath Path;
+    Bytes Total;
+    Bytes Remaining;
+    SimTime StartTime;
+    double Weight; // Stream count, as fair-share weight.
+    BitRate TcpCap;
+    BitRate EndpointCap;
+    BitRate Rate = 0.0;
+    bool Background = false;
+    CompletionFn OnComplete;
+  };
+
+  /// Moves every flow forward to now() at its current rate.
+  void advanceFlows();
+
+  /// Re-solves all rates and reschedules the next completion event.
+  void rebalance();
+
+  /// Completes flows whose remaining volume reached zero.
+  void finishDueFlows();
+
+  Simulator &Sim;
+  const Topology &Topo;
+  Routing &Router;
+  const TcpModel &Tcp;
+  // std::map keeps iteration deterministic (insertion ids are ordered).
+  std::map<FlowId, ActiveFlow> Flows;
+  FlowId NextFlowId = 1;
+  SimTime LastAdvance = 0.0;
+  EventId NextCompletionEvent = InvalidEventId;
+  // Links currently administratively down (failure injection).
+  std::unordered_set<LinkId> DownLinks;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_NET_FLOWNETWORK_H

@@ -1,0 +1,100 @@
+//===- net/Routing.cpp -----------------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Routing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+using namespace dgsim;
+
+static uint64_t pairKey(NodeId Src, NodeId Dst) {
+  return (static_cast<uint64_t>(Src) << 32) | Dst;
+}
+
+std::optional<NetPath> Routing::path(NodeId Src, NodeId Dst) {
+  assert(Src < Topo.nodeCount() && Dst < Topo.nodeCount() &&
+         "route endpoint out of range");
+  auto It = Cache.find(pairKey(Src, Dst));
+  if (It != Cache.end())
+    return It->second;
+
+  // Dijkstra by (delay, hops).  Node count is small (tens to hundreds), so a
+  // binary-heap implementation is plenty.
+  const double Inf = std::numeric_limits<double>::infinity();
+  size_t N = Topo.nodeCount();
+  std::vector<double> Dist(N, Inf);
+  std::vector<uint32_t> Hops(N, ~0u);
+  std::vector<ChannelId> Via(N, ~0u); // Channel used to enter each node.
+  std::vector<NodeId> Prev(N, InvalidNodeId);
+
+  using QEntry = std::tuple<double, uint32_t, NodeId>;
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> Q;
+  Dist[Src] = 0.0;
+  Hops[Src] = 0;
+  Q.push({0.0, 0, Src});
+
+  while (!Q.empty()) {
+    auto [D, H, U] = Q.top();
+    Q.pop();
+    if (D > Dist[U] || (D == Dist[U] && H > Hops[U]))
+      continue;
+    if (U == Dst)
+      break;
+    for (LinkId L : Topo.linksAt(U)) {
+      const NetLink &Ln = Topo.link(L);
+      NodeId V = (Ln.A == U) ? Ln.B : Ln.A;
+      double ND = D + Ln.Delay;
+      uint32_t NH = H + 1;
+      if (ND < Dist[V] || (ND == Dist[V] && NH < Hops[V])) {
+        Dist[V] = ND;
+        Hops[V] = NH;
+        Prev[V] = U;
+        Via[V] = Topo.channelFrom(L, U);
+        Q.push({ND, NH, V});
+      }
+    }
+  }
+
+  std::optional<NetPath> Result;
+  if (Src == Dst) {
+    Result = buildPath(Src, Dst, {});
+  } else if (Dist[Dst] != Inf) {
+    std::vector<ChannelId> Channels;
+    for (NodeId Cur = Dst; Cur != Src; Cur = Prev[Cur])
+      Channels.push_back(Via[Cur]);
+    std::reverse(Channels.begin(), Channels.end());
+    Result = buildPath(Src, Dst, Channels);
+  }
+  Cache.emplace(pairKey(Src, Dst), Result);
+  return Result;
+}
+
+bool Routing::reachable(NodeId Src, NodeId Dst) {
+  return path(Src, Dst).has_value();
+}
+
+NetPath Routing::buildPath(NodeId Src, NodeId Dst,
+                           const std::vector<ChannelId> &Channels) const {
+  (void)Src;
+  (void)Dst;
+  NetPath P;
+  P.Channels = Channels;
+  P.BottleneckCapacity = std::numeric_limits<double>::infinity();
+  double DeliverProb = 1.0;
+  SimTime OneWay = 0.0;
+  for (ChannelId Ch : Channels) {
+    const NetLink &L = Topo.channelLink(Ch);
+    OneWay += L.Delay;
+    P.BottleneckCapacity = std::min(P.BottleneckCapacity, L.Capacity);
+    DeliverProb *= (1.0 - L.LossRate);
+  }
+  P.Rtt = 2.0 * OneWay;
+  P.LossRate = 1.0 - DeliverProb;
+  return P;
+}

@@ -1,0 +1,61 @@
+//===- net/Routing.h - Shortest-path routing over a Topology --------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dijkstra shortest-path routing (metric: propagation delay, hop count as
+/// tie-break) with a per-pair path cache, plus derived path properties the
+/// TCP model consumes: round-trip time, bottleneck capacity, and end-to-end
+/// loss probability.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_NET_ROUTING_H
+#define DGSIM_NET_ROUTING_H
+
+#include "net/Topology.h"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace dgsim {
+
+/// A routed unidirectional path and its aggregate properties.
+struct NetPath {
+  /// Channels traversed, source side first.  Empty for src == dst.
+  std::vector<ChannelId> Channels;
+  /// Round-trip time: twice the one-way propagation delay.
+  SimTime Rtt = 0.0;
+  /// Smallest channel capacity along the path (inf for empty paths).
+  BitRate BottleneckCapacity = 0.0;
+  /// End-to-end packet loss probability: 1 - prod(1 - p_link).
+  double LossRate = 0.0;
+};
+
+/// Computes and caches shortest paths.  The topology must outlive the router
+/// and must not change after the first query (the cache is never flushed).
+class Routing {
+public:
+  explicit Routing(const Topology &Topo) : Topo(Topo) {}
+
+  /// \returns the path from \p Src to \p Dst, or std::nullopt when the
+  /// nodes are disconnected.  Paths are cached per (Src, Dst).
+  std::optional<NetPath> path(NodeId Src, NodeId Dst);
+
+  /// \returns true when \p Src can reach \p Dst.
+  bool reachable(NodeId Src, NodeId Dst);
+
+private:
+  NetPath buildPath(NodeId Src, NodeId Dst,
+                    const std::vector<ChannelId> &Channels) const;
+
+  const Topology &Topo;
+  std::unordered_map<uint64_t, std::optional<NetPath>> Cache;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_NET_ROUTING_H

@@ -1,0 +1,36 @@
+//===- net/TcpModel.cpp ----------------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/TcpModel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace dgsim;
+
+BitRate TcpModel::perStreamCap(const NetPath &Path) const {
+  const double Inf = std::numeric_limits<double>::infinity();
+  if (Path.Rtt <= 0.0) {
+    // Same-host or zero-delay path: neither window nor loss binds.
+    return Inf;
+  }
+  double WindowBound = Config.MaxWindowBytes * 8.0 / Path.Rtt;
+  double LossBound = Inf;
+  if (Path.LossRate > 0.0)
+    LossBound = (Config.MssBytes * 8.0 / Path.Rtt) * Config.MathisC /
+                std::sqrt(Path.LossRate);
+  return std::min(WindowBound, LossBound);
+}
+
+BitRate TcpModel::parallelCap(const NetPath &Path, unsigned Streams) const {
+  assert(Streams >= 1 && "need at least one stream");
+  BitRate One = perStreamCap(Path);
+  if (std::isinf(One))
+    return One;
+  return One * static_cast<double>(Streams);
+}

@@ -1,0 +1,81 @@
+//===- net/TcpModel.h - Steady-state TCP throughput model -----------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An analytic model of what one TCP stream can sustain on a path.
+///
+/// Two effects bound a single stream below the raw link capacity on wide-area
+/// paths, and both matter for reproducing the paper's Fig 4:
+///
+///   * the receiver/sender window: rate <= Wmax / RTT, and
+///   * congestion losses: rate <= (MSS / RTT) * C / sqrt(p)
+///     (the Mathis/Semke/Mahdavi/Ott square-root law, C = sqrt(3/2)).
+///
+/// GridFTP's MODE E opens N parallel streams, multiplying both bounds by N;
+/// the aggregate is then clipped by the bottleneck link share.  This is
+/// exactly why parallel data transfer "improves aggregate bandwidth" in the
+/// paper, and why returns diminish once N * per-stream-cap exceeds the
+/// bottleneck.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_NET_TCPMODEL_H
+#define DGSIM_NET_TCPMODEL_H
+
+#include "net/Routing.h"
+#include "support/Units.h"
+
+namespace dgsim {
+
+/// Tunable constants of the TCP throughput model.
+struct TcpConfig {
+  /// Maximum segment size, bytes (Ethernet default).
+  double MssBytes = 1460.0;
+  /// Maximum effective window, bytes.  64 KiB is the classic no-window-
+  /// scaling default that made parallel streams worthwhile in 2005.
+  double MaxWindowBytes = 64.0 * 1024.0;
+  /// Mathis constant (sqrt(3/2) for periodic losses with delayed ACKs off).
+  double MathisC = 1.224744871391589;
+  /// TCP/IP + Ethernet header overhead as a fraction of payload; the
+  /// goodput of a saturated link is Capacity / (1 + HeaderOverhead).
+  double HeaderOverhead = 0.058; // 40B TCP/IP + 38B Ethernet framing / 1460B+
+  /// Time to establish one connection (SYN handshake), in RTTs.
+  double ConnectRtts = 1.5;
+};
+
+/// Stateless throughput calculator shared by all flows.
+class TcpModel {
+public:
+  explicit TcpModel(TcpConfig Config = TcpConfig()) : Config(Config) {}
+
+  const TcpConfig &config() const { return Config; }
+
+  /// \returns the payload rate one stream can sustain on \p Path, before any
+  /// competition for link capacity: min(window bound, loss bound).
+  /// Local (zero-RTT) paths are unbounded by the window term.
+  BitRate perStreamCap(const NetPath &Path) const;
+
+  /// \returns the aggregate cap for \p Streams parallel streams.
+  BitRate parallelCap(const NetPath &Path, unsigned Streams) const;
+
+  /// \returns the usable payload fraction of raw link capacity.
+  double goodputFactor() const { return 1.0 / (1.0 + Config.HeaderOverhead); }
+
+  /// \returns the time to open \p Connections TCP connections in series
+  /// batches (GridFTP opens the parallel data connections concurrently, so
+  /// this is one connect time regardless of N, plus per-connection setup
+  /// charged by the protocol layer).
+  SimTime connectTime(const NetPath &Path) const {
+    return Config.ConnectRtts * Path.Rtt;
+  }
+
+private:
+  TcpConfig Config;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_NET_TCPMODEL_H

@@ -1,0 +1,71 @@
+//===- net/Topology.cpp ----------------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Topology.h"
+
+#include <cassert>
+
+using namespace dgsim;
+
+NodeId Topology::addNode(std::string Name) {
+  assert(!Name.empty() && "node names must be non-empty");
+  assert(NameToId.find(Name) == NameToId.end() && "duplicate node name");
+  NodeId Id = static_cast<NodeId>(Nodes.size());
+  NameToId.emplace(Name, Id);
+  Nodes.push_back(NetNode{std::move(Name)});
+  Incidence.emplace_back();
+  return Id;
+}
+
+LinkId Topology::addLink(NodeId A, NodeId B, BitRate Capacity, SimTime Delay,
+                         double LossRate) {
+  assert(A < Nodes.size() && B < Nodes.size() && "link endpoint out of range");
+  assert(A != B && "self links are not allowed");
+  assert(Capacity > 0.0 && "links need positive capacity");
+  assert(Delay >= 0.0 && "negative propagation delay");
+  assert(LossRate >= 0.0 && LossRate < 1.0 && "loss rate outside [0, 1)");
+  LinkId Id = static_cast<LinkId>(Links.size());
+  Links.push_back(NetLink{A, B, Capacity, Delay, LossRate});
+  Incidence[A].push_back(Id);
+  Incidence[B].push_back(Id);
+  return Id;
+}
+
+const NetNode &Topology::node(NodeId Id) const {
+  assert(Id < Nodes.size() && "node id out of range");
+  return Nodes[Id];
+}
+
+const NetLink &Topology::link(LinkId Id) const {
+  assert(Id < Links.size() && "link id out of range");
+  return Links[Id];
+}
+
+NodeId Topology::findNode(const std::string &Name) const {
+  auto It = NameToId.find(Name);
+  return It == NameToId.end() ? InvalidNodeId : It->second;
+}
+
+NodeId Topology::channelSource(ChannelId Ch) const {
+  const NetLink &L = channelLink(Ch);
+  return (Ch % 2 == 0) ? L.A : L.B;
+}
+
+NodeId Topology::channelTarget(ChannelId Ch) const {
+  const NetLink &L = channelLink(Ch);
+  return (Ch % 2 == 0) ? L.B : L.A;
+}
+
+ChannelId Topology::channelFrom(LinkId L, NodeId From) const {
+  const NetLink &Ln = link(L);
+  assert((From == Ln.A || From == Ln.B) && "node not on this link");
+  return From == Ln.A ? L * 2 : L * 2 + 1;
+}
+
+const std::vector<LinkId> &Topology::linksAt(NodeId N) const {
+  assert(N < Incidence.size() && "node id out of range");
+  return Incidence[N];
+}

@@ -1,0 +1,102 @@
+//===- net/Topology.h - Grid network topology ------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The physical network graph: named nodes joined by full-duplex links with
+/// capacity, propagation delay, and a packet-loss rate.
+///
+/// Each link contributes two independent *channels* (one per direction);
+/// flows consume capacity only on the channels along their path, which is
+/// what makes simultaneous transfers in opposite directions independent,
+/// as they are on real full-duplex Ethernet/WAN links.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_NET_TOPOLOGY_H
+#define DGSIM_NET_TOPOLOGY_H
+
+#include "support/Units.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dgsim {
+
+using NodeId = uint32_t;
+using LinkId = uint32_t;
+
+/// Directed half of a link.  Channel 2*L goes from the link's A endpoint to
+/// B; channel 2*L+1 goes from B to A.
+using ChannelId = uint32_t;
+
+inline constexpr NodeId InvalidNodeId = ~0u;
+
+/// A network node: an end host or an interior router/switch.
+struct NetNode {
+  std::string Name;
+};
+
+/// A full-duplex point-to-point link.
+struct NetLink {
+  NodeId A = InvalidNodeId;
+  NodeId B = InvalidNodeId;
+  /// Capacity of each direction, bits/second.
+  BitRate Capacity = 0.0;
+  /// One-way propagation delay, seconds.
+  SimTime Delay = 0.0;
+  /// Stationary packet-loss probability seen by TCP on this link.
+  double LossRate = 0.0;
+};
+
+/// The network graph.  Build once, then treat as immutable; Routing and
+/// FlowNetwork hold references into it.
+class Topology {
+public:
+  /// Adds a node and returns its id.  Names must be unique and non-empty.
+  NodeId addNode(std::string Name);
+
+  /// Adds a full-duplex link between existing nodes \p A and \p B.
+  LinkId addLink(NodeId A, NodeId B, BitRate Capacity, SimTime Delay,
+                 double LossRate = 0.0);
+
+  size_t nodeCount() const { return Nodes.size(); }
+  size_t linkCount() const { return Links.size(); }
+  size_t channelCount() const { return Links.size() * 2; }
+
+  const NetNode &node(NodeId Id) const;
+  const NetLink &link(LinkId Id) const;
+
+  /// \returns the node id for \p Name, or InvalidNodeId when absent.
+  NodeId findNode(const std::string &Name) const;
+
+  /// \returns the link the channel belongs to.
+  const NetLink &channelLink(ChannelId Ch) const { return link(Ch / 2); }
+
+  /// \returns the node a channel transmits from.
+  NodeId channelSource(ChannelId Ch) const;
+
+  /// \returns the node a channel transmits into.
+  NodeId channelTarget(ChannelId Ch) const;
+
+  /// \returns the channel of link \p L directed out of node \p From.
+  /// \p From must be one of the link's endpoints.
+  ChannelId channelFrom(LinkId L, NodeId From) const;
+
+  /// \returns ids of all links incident to \p N.
+  const std::vector<LinkId> &linksAt(NodeId N) const;
+
+private:
+  std::vector<NetNode> Nodes;
+  std::vector<NetLink> Links;
+  std::vector<std::vector<LinkId>> Incidence;
+  std::unordered_map<std::string, NodeId> NameToId;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_NET_TOPOLOGY_H

@@ -1,0 +1,30 @@
+//===- replica/CostModel.cpp -------------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "replica/CostModel.h"
+
+#include <cassert>
+
+using namespace dgsim;
+
+CostModel::CostModel(CostWeights Weights) : Weights(Weights) {
+  assert(Weights.Bandwidth >= 0.0 && Weights.Cpu >= 0.0 &&
+         Weights.Io >= 0.0 && Weights.Latency >= 0.0 &&
+         Weights.Memory >= 0.0 && "weights must be non-negative");
+  assert(Weights.sum() > 0.0 && "at least one weight must be positive");
+}
+
+double CostModel::score(const SystemFactors &F) const {
+  double Score = F.BwFraction * Weights.Bandwidth +
+                 F.CpuIdle * Weights.Cpu + F.IoIdle * Weights.Io;
+  if (Weights.Latency > 0.0) {
+    double PLat = RefLatency / (RefLatency + F.PredictedLatency);
+    Score += PLat * Weights.Latency;
+  }
+  if (Weights.Memory > 0.0)
+    Score += F.MemFreeFraction * Weights.Memory;
+  return Score;
+}

@@ -1,0 +1,69 @@
+//===- replica/CostModel.h - The paper's replica selection cost model ------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Equation (1) of the paper:
+///
+///   Score_{i->j} = P^BW_{i->j} * W^BW + P^CPU_j * W^CPU + P^{I/O}_j * W^{I/O}
+///
+/// where i is the client's local site, j a candidate replica holder,
+/// P^BW the current-to-theoretical bandwidth ratio, P^CPU / P^{I/O} the
+/// candidate's idle percentages, and the W weights are set by the Data Grid
+/// administrator.  "A high score represents the user or application
+/// acquiring the replica effectively"; the best replica is the arg max.
+///
+/// The paper settles on W = (0.8, 0.1, 0.1) after observing that bandwidth
+/// dominates transfer time while CPU and I/O only "slightly affect" it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_REPLICA_COSTMODEL_H
+#define DGSIM_REPLICA_COSTMODEL_H
+
+#include "monitor/InformationService.h"
+
+namespace dgsim {
+
+/// Administrator-chosen weights of the system factors.
+///
+/// Bandwidth/Cpu/Io are the paper's Eq. (1) factors.  Latency and Memory
+/// are the *extended* factors its future work calls for ("refer to more
+/// system factors in the replica selection cost model"); they default to
+/// zero, which reduces the model to the paper's exactly.
+struct CostWeights {
+  double Bandwidth = 0.8;
+  double Cpu = 0.1;
+  double Io = 0.1;
+  /// Weight of the latency factor P^lat = RefLatency / (RefLatency + lat).
+  double Latency = 0.0;
+  /// Weight of the candidate's free-memory fraction.
+  double Memory = 0.0;
+
+  /// \returns the weight sum (used for normalised comparisons).
+  double sum() const { return Bandwidth + Cpu + Io + Latency + Memory; }
+};
+
+/// The scoring function.
+class CostModel {
+public:
+  explicit CostModel(CostWeights Weights = CostWeights());
+
+  const CostWeights &weights() const { return Weights; }
+
+  /// \returns Score_{i->j} for the given measured factors; higher is better.
+  double score(const SystemFactors &F) const;
+
+  /// Reference latency at which the latency factor scores 0.5.  Chosen
+  /// around a metropolitan WAN RTT so campus paths score near 1.
+  static constexpr SimTime RefLatency = 0.020;
+
+private:
+  CostWeights Weights;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_REPLICA_COSTMODEL_H

@@ -1,0 +1,79 @@
+//===- replica/ReplicaCatalog.cpp --------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "replica/ReplicaCatalog.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dgsim;
+
+void ReplicaCatalog::registerFile(const std::string &Lfn, Bytes Size) {
+  assert(!Lfn.empty() && "logical file names must be non-empty");
+  assert(Size > 0.0 && "logical files need a positive size");
+  assert(Files.find(Lfn) == Files.end() && "duplicate logical file");
+  LogicalFile F;
+  F.Name = Lfn;
+  F.Size = Size;
+  Files.emplace(Lfn, std::move(F));
+}
+
+bool ReplicaCatalog::hasFile(const std::string &Lfn) const {
+  return Files.find(Lfn) != Files.end();
+}
+
+Bytes ReplicaCatalog::fileSize(const std::string &Lfn) const {
+  auto It = Files.find(Lfn);
+  assert(It != Files.end() && "unknown logical file");
+  return It->second.Size;
+}
+
+void ReplicaCatalog::addReplica(const std::string &Lfn, Host &Location) {
+  auto It = Files.find(Lfn);
+  assert(It != Files.end() && "replica of an unregistered file");
+  auto &Locs = It->second.Locations;
+  if (std::find(Locs.begin(), Locs.end(), &Location) != Locs.end())
+    return;
+  Locs.push_back(&Location);
+}
+
+bool ReplicaCatalog::removeReplica(const std::string &Lfn,
+                                   const Host &Location) {
+  auto It = Files.find(Lfn);
+  if (It == Files.end())
+    return false;
+  auto &Locs = It->second.Locations;
+  auto Pos = std::find(Locs.begin(), Locs.end(), &Location);
+  if (Pos == Locs.end())
+    return false;
+  Locs.erase(Pos);
+  return true;
+}
+
+std::vector<Host *> ReplicaCatalog::locate(const std::string &Lfn) const {
+  auto It = Files.find(Lfn);
+  if (It == Files.end())
+    return {};
+  return It->second.Locations;
+}
+
+Host *ReplicaCatalog::replicaAt(const std::string &Lfn, NodeId Node) const {
+  auto It = Files.find(Lfn);
+  if (It == Files.end())
+    return nullptr;
+  for (Host *H : It->second.Locations)
+    if (H->node() == Node)
+      return H;
+  return nullptr;
+}
+
+std::vector<std::string> ReplicaCatalog::listFiles() const {
+  std::vector<std::string> Names;
+  Names.reserve(Files.size());
+  for (const auto &[Name, F] : Files)
+    Names.push_back(Name);
+  return Names;
+}

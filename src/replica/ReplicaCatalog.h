@@ -1,0 +1,73 @@
+//===- replica/ReplicaCatalog.h - Logical-to-physical file mapping ---------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replica catalog of the paper's Fig 1: applications pass a logical
+/// file name; the catalog "queries its database and produces a list of
+/// ... physical locations for all registered replicas".
+///
+/// This mirrors the Globus replica catalog's data model (logical files with
+/// registered physical locations) without the LDAP machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_REPLICA_REPLICACATALOG_H
+#define DGSIM_REPLICA_REPLICACATALOG_H
+
+#include "host/Host.h"
+#include "support/Units.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dgsim {
+
+/// A registered logical file and its replica locations.
+struct LogicalFile {
+  std::string Name;
+  Bytes Size = 0.0;
+  /// Hosts holding a complete copy, in registration order.
+  std::vector<Host *> Locations;
+};
+
+/// The catalog service.
+class ReplicaCatalog {
+public:
+  /// Registers a logical file.  Names must be unique and sizes positive.
+  void registerFile(const std::string &Lfn, Bytes Size);
+
+  /// \returns true when \p Lfn is registered.
+  bool hasFile(const std::string &Lfn) const;
+
+  /// \returns the file size; the file must be registered.
+  Bytes fileSize(const std::string &Lfn) const;
+
+  /// Registers a replica of \p Lfn on \p Location.  Duplicate
+  /// registrations are ignored.
+  void addReplica(const std::string &Lfn, Host &Location);
+
+  /// Unregisters a replica.  \returns true when one was removed.
+  bool removeReplica(const std::string &Lfn, const Host &Location);
+
+  /// \returns the hosts holding \p Lfn (empty when none or unknown).
+  std::vector<Host *> locate(const std::string &Lfn) const;
+
+  /// \returns the replica of \p Lfn residing at \p Node, or nullptr.
+  Host *replicaAt(const std::string &Lfn, NodeId Node) const;
+
+  /// \returns all logical file names, sorted.
+  std::vector<std::string> listFiles() const;
+
+  size_t fileCount() const { return Files.size(); }
+
+private:
+  std::map<std::string, LogicalFile> Files;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_REPLICA_REPLICACATALOG_H

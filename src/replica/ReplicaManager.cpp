@@ -1,0 +1,58 @@
+//===- replica/ReplicaManager.cpp ----------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "replica/ReplicaManager.h"
+
+#include <cassert>
+
+using namespace dgsim;
+
+ReplicaManager::ReplicaManager(ReplicaCatalog &Catalog,
+                               ReplicaSelector &Selector,
+                               TransferManager &Transfers)
+    : Catalog(Catalog), Selector(Selector), Transfers(Transfers) {}
+
+void ReplicaManager::publish(const std::string &Lfn, Bytes Size,
+                             Host &Location) {
+  if (!Catalog.hasFile(Lfn))
+    Catalog.registerFile(Lfn, Size);
+  assert(Catalog.fileSize(Lfn) == Size && "size mismatch on publish");
+  Catalog.addReplica(Lfn, Location);
+}
+
+TransferId ReplicaManager::replicate(const std::string &Lfn, Host &Target,
+                                     unsigned Streams,
+                                     ReplicatedFn OnReplicated) {
+  assert(Catalog.hasFile(Lfn) && "replicating an unregistered file");
+  if (Catalog.replicaAt(Lfn, Target.node())) {
+    if (OnReplicated)
+      OnReplicated(Lfn, Target, TransferResult());
+    return InvalidTransferId;
+  }
+
+  SelectionResult Sel = Selector.select(Target.node(), Lfn);
+  assert(Sel.Chosen && "no source replica available");
+
+  TransferSpec Spec;
+  Spec.Source = Sel.Chosen;
+  Spec.Destination = &Target;
+  Spec.FileBytes = Catalog.fileSize(Lfn);
+  Spec.Protocol = TransferProtocol::GridFtpModeE;
+  Spec.Streams = Streams;
+  return Transfers.submit(
+      Spec, [this, Lfn, &Target,
+             Done = std::move(OnReplicated)](const TransferResult &R) {
+        Catalog.addReplica(Lfn, Target);
+        if (Done)
+          Done(Lfn, Target, R);
+      });
+}
+
+bool ReplicaManager::remove(const std::string &Lfn, const Host &Location) {
+  if (Catalog.locate(Lfn).size() <= 1)
+    return false; // Never drop the last copy.
+  return Catalog.removeReplica(Lfn, Location);
+}

@@ -1,0 +1,66 @@
+//===- replica/ReplicaManager.h - Replica lifecycle management -------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replica management service of the Data Grid's second "essential
+/// basic service" (Allcock et al.): creation, registration, location and
+/// management of data replicas, with GridFTP as the transport.
+///
+/// replicate() picks the best existing source via a ReplicaSelector, moves
+/// the bytes with the TransferManager, and registers the new location in
+/// the catalog only after the last byte lands — a failed or cancelled
+/// transfer never yields a phantom replica.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_REPLICA_REPLICAMANAGER_H
+#define DGSIM_REPLICA_REPLICAMANAGER_H
+
+#include "gridftp/TransferManager.h"
+#include "replica/ReplicaSelector.h"
+
+#include <functional>
+#include <string>
+
+namespace dgsim {
+
+/// Orchestrates replica creation and deletion.
+class ReplicaManager {
+public:
+  using ReplicatedFn =
+      std::function<void(const std::string &Lfn, Host &NewLocation,
+                         const TransferResult &)>;
+
+  ReplicaManager(ReplicaCatalog &Catalog, ReplicaSelector &Selector,
+                 TransferManager &Transfers);
+
+  /// Publishes an initial copy: registers the file (if new) and the
+  /// location, with no data movement (the data was produced there).
+  void publish(const std::string &Lfn, Bytes Size, Host &Location);
+
+  /// Copies \p Lfn to \p Target from the best current replica, with
+  /// \p Streams parallel GridFTP streams.  No-op (immediate callback with
+  /// a zero-length result) when Target already holds the file.
+  /// \returns the transfer id, or InvalidTransferId for the no-op case.
+  TransferId replicate(const std::string &Lfn, Host &Target,
+                       unsigned Streams = 4,
+                       ReplicatedFn OnReplicated = nullptr);
+
+  /// Unregisters the replica at \p Location.  \returns true on removal.
+  /// Removing the last replica of a file is refused (data loss guard).
+  bool remove(const std::string &Lfn, const Host &Location);
+
+  ReplicaCatalog &catalog() { return Catalog; }
+
+private:
+  ReplicaCatalog &Catalog;
+  ReplicaSelector &Selector;
+  TransferManager &Transfers;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_REPLICA_REPLICAMANAGER_H

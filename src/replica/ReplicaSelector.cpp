@@ -1,0 +1,58 @@
+//===- replica/ReplicaSelector.cpp ---------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "replica/ReplicaSelector.h"
+
+#include <cassert>
+
+using namespace dgsim;
+
+ReplicaSelector::ReplicaSelector(ReplicaCatalog &Catalog,
+                                 InformationService &Info,
+                                 SelectionPolicy &Policy,
+                                 CostWeights ReportWeights)
+    : Catalog(Catalog), Info(Info), Policy(Policy),
+      ReportModel(ReportWeights) {}
+
+SelectionResult ReplicaSelector::select(NodeId ClientNode,
+                                        const std::string &Lfn) {
+  SelectionResult R;
+  R.Candidates = scoreAll(ClientNode, Lfn);
+  assert(!R.Candidates.empty() && "selecting a file with no replicas");
+
+  // Fig 1, step 1: a local copy short-circuits everything.
+  if (Host *Local = Catalog.replicaAt(Lfn, ClientNode)) {
+    R.Chosen = Local;
+    R.LocalHit = true;
+    if (Trace)
+      Trace->record(Info.now(), TraceCategory::Selection,
+                    Lfn + ": local hit at " + Local->name());
+    return R;
+  }
+
+  std::vector<Host *> Candidates = Catalog.locate(Lfn);
+  R.Chosen = Policy.choose(ClientNode, Candidates, Info);
+  assert(R.Chosen && "policy returned no choice");
+  if (Trace)
+    Trace->record(Info.now(), TraceCategory::Selection,
+                  Lfn + ": " + Policy.name() + " chose " +
+                      R.Chosen->name() + " of " +
+                      std::to_string(Candidates.size()) + " candidates");
+  return R;
+}
+
+std::vector<CandidateReport>
+ReplicaSelector::scoreAll(NodeId ClientNode, const std::string &Lfn) {
+  std::vector<CandidateReport> Reports;
+  for (Host *H : Catalog.locate(Lfn)) {
+    CandidateReport C;
+    C.Candidate = H;
+    C.Factors = Info.query(ClientNode, *H);
+    C.Score = ReportModel.score(C.Factors);
+    Reports.push_back(C);
+  }
+  return Reports;
+}

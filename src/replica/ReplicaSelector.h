@@ -1,0 +1,88 @@
+//===- replica/ReplicaSelector.h - The replica selection server ------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replica selection server of the paper's Fig 1 scenario:
+///
+///   1. the application checks whether the file is local (then accesses it
+///      immediately);
+///   2. otherwise the replica catalog returns all physical locations;
+///   3. the selection server queries the information server for the three
+///      system factors of every candidate and applies a policy;
+///   4. the chosen location is returned for the GridFTP fetch.
+///
+/// Besides the choice itself, select() reports per-candidate factors and
+/// cost-model scores, which is exactly the content of the paper's Table 1
+/// and of the Fig 5 cost program display.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_REPLICA_REPLICASELECTOR_H
+#define DGSIM_REPLICA_REPLICASELECTOR_H
+
+#include "replica/CostModel.h"
+#include "replica/ReplicaCatalog.h"
+#include "replica/SelectionPolicy.h"
+#include "support/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace dgsim {
+
+/// Factors and score of one candidate, for reporting.
+struct CandidateReport {
+  Host *Candidate = nullptr;
+  SystemFactors Factors;
+  /// Cost-model score under the selector's reporting weights (computed for
+  /// every policy so experiments can always compare against Eq. 1).
+  double Score = 0.0;
+};
+
+/// Outcome of a selection.
+struct SelectionResult {
+  /// The chosen replica holder; never null on success.
+  Host *Chosen = nullptr;
+  /// True when the file was found at the client's own node (no transfer).
+  bool LocalHit = false;
+  /// Every candidate's factors and score, catalogue order.
+  std::vector<CandidateReport> Candidates;
+};
+
+/// The selection server.
+class ReplicaSelector {
+public:
+  /// \p Policy decides; \p ReportWeights parameterise the scores attached
+  /// to the report (defaults to the paper's 80/10/10).
+  ReplicaSelector(ReplicaCatalog &Catalog, InformationService &Info,
+                  SelectionPolicy &Policy,
+                  CostWeights ReportWeights = CostWeights());
+
+  /// Runs the Fig 1 scenario for \p Lfn on behalf of a client at
+  /// \p ClientNode.  The file must have at least one replica.
+  SelectionResult select(NodeId ClientNode, const std::string &Lfn);
+
+  /// Scores every candidate without choosing (the Fig 5 cost program).
+  std::vector<CandidateReport> scoreAll(NodeId ClientNode,
+                                        const std::string &Lfn);
+
+  SelectionPolicy &policy() { return Policy; }
+  const CostModel &reportModel() const { return ReportModel; }
+
+  /// Attaches a trace log (TraceCategory::Selection events).
+  void setTrace(TraceLog *Log) { Trace = Log; }
+
+private:
+  ReplicaCatalog &Catalog;
+  InformationService &Info;
+  SelectionPolicy &Policy;
+  CostModel ReportModel;
+  TraceLog *Trace = nullptr;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_REPLICA_REPLICASELECTOR_H

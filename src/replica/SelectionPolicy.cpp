@@ -1,0 +1,94 @@
+//===- replica/SelectionPolicy.cpp --------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "replica/SelectionPolicy.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace dgsim;
+
+RandomPolicy::RandomPolicy(RandomEngine Rng) : Name("random"), Rng(Rng) {}
+
+Host *RandomPolicy::choose(NodeId Client,
+                           const std::vector<Host *> &Candidates,
+                           InformationService &Info) {
+  (void)Client;
+  (void)Info;
+  assert(!Candidates.empty() && "no candidates to choose from");
+  return Candidates[Rng.uniformInt(Candidates.size())];
+}
+
+RoundRobinPolicy::RoundRobinPolicy() : Name("round-robin") {}
+
+Host *RoundRobinPolicy::choose(NodeId Client,
+                               const std::vector<Host *> &Candidates,
+                               InformationService &Info) {
+  (void)Client;
+  (void)Info;
+  assert(!Candidates.empty() && "no candidates to choose from");
+  return Candidates[Next++ % Candidates.size()];
+}
+
+BandwidthOnlyPolicy::BandwidthOnlyPolicy() : Name("bandwidth-only") {}
+
+Host *BandwidthOnlyPolicy::choose(NodeId Client,
+                                  const std::vector<Host *> &Candidates,
+                                  InformationService &Info) {
+  assert(!Candidates.empty() && "no candidates to choose from");
+  Host *Best = nullptr;
+  double BestBw = -1.0;
+  for (Host *H : Candidates) {
+    SystemFactors F = Info.query(Client, *H);
+    if (F.PredictedBandwidth > BestBw) {
+      BestBw = F.PredictedBandwidth;
+      Best = H;
+    }
+  }
+  return Best;
+}
+
+LeastLoadedCpuPolicy::LeastLoadedCpuPolicy() : Name("least-loaded-cpu") {}
+
+Host *LeastLoadedCpuPolicy::choose(NodeId Client,
+                                   const std::vector<Host *> &Candidates,
+                                   InformationService &Info) {
+  (void)Client;
+  assert(!Candidates.empty() && "no candidates to choose from");
+  Host *Best = nullptr;
+  double BestIdle = -1.0;
+  for (Host *H : Candidates) {
+    double Idle = Info.cpuIdle(*H);
+    if (Idle > BestIdle) {
+      BestIdle = Idle;
+      Best = H;
+    }
+  }
+  return Best;
+}
+
+CostModelPolicy::CostModelPolicy(CostWeights Weights) : Model(Weights) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "cost-model(%.2f/%.2f/%.2f)",
+                Weights.Bandwidth, Weights.Cpu, Weights.Io);
+  Name = Buf;
+}
+
+Host *CostModelPolicy::choose(NodeId Client,
+                              const std::vector<Host *> &Candidates,
+                              InformationService &Info) {
+  assert(!Candidates.empty() && "no candidates to choose from");
+  Host *Best = nullptr;
+  double BestScore = -1.0;
+  for (Host *H : Candidates) {
+    double Score = Model.score(Info.query(Client, *H));
+    if (Score > BestScore) {
+      BestScore = Score;
+      Best = H;
+    }
+  }
+  return Best;
+}

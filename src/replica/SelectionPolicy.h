@@ -1,0 +1,114 @@
+//===- replica/SelectionPolicy.h - Replica selection strategies ------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pluggable replica-selection strategies.
+///
+/// CostModelPolicy is the paper's contribution; the others are the
+/// baselines a performance analysis needs:
+///
+///   * RandomPolicy        -- uniform choice, the no-information floor;
+///   * RoundRobinPolicy    -- static load spreading without measurement;
+///   * BandwidthOnlyPolicy -- NWS-greedy selection (Vazhkudai, Tuecke &
+///     Foster's replica selection in the Globus Data Grid), i.e. the cost
+///     model with W = (1, 0, 0);
+///   * LeastLoadedCpuPolicy -- CPU-greedy, bandwidth-blind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_REPLICA_SELECTIONPOLICY_H
+#define DGSIM_REPLICA_SELECTIONPOLICY_H
+
+#include "replica/CostModel.h"
+#include "support/Random.h"
+
+#include <string>
+#include <vector>
+
+namespace dgsim {
+
+/// Strategy interface: pick one of the candidate replica holders for a
+/// client at \p Client.  Candidates is never empty.
+class SelectionPolicy {
+public:
+  virtual ~SelectionPolicy() = default;
+
+  /// \returns a short identifier such as "cost-model(0.8/0.1/0.1)".
+  virtual const std::string &name() const = 0;
+
+  /// Chooses a replica holder.  May query \p Info for measurements.
+  virtual Host *choose(NodeId Client, const std::vector<Host *> &Candidates,
+                       InformationService &Info) = 0;
+};
+
+/// Uniformly random choice.
+class RandomPolicy final : public SelectionPolicy {
+public:
+  explicit RandomPolicy(RandomEngine Rng);
+  const std::string &name() const override { return Name; }
+  Host *choose(NodeId Client, const std::vector<Host *> &Candidates,
+               InformationService &Info) override;
+
+private:
+  std::string Name;
+  RandomEngine Rng;
+};
+
+/// Cycles through candidates in catalogue order.
+class RoundRobinPolicy final : public SelectionPolicy {
+public:
+  RoundRobinPolicy();
+  const std::string &name() const override { return Name; }
+  Host *choose(NodeId Client, const std::vector<Host *> &Candidates,
+               InformationService &Info) override;
+
+private:
+  std::string Name;
+  size_t Next = 0;
+};
+
+/// Picks the candidate with the highest forecast bandwidth to the client.
+class BandwidthOnlyPolicy final : public SelectionPolicy {
+public:
+  BandwidthOnlyPolicy();
+  const std::string &name() const override { return Name; }
+  Host *choose(NodeId Client, const std::vector<Host *> &Candidates,
+               InformationService &Info) override;
+
+private:
+  std::string Name;
+};
+
+/// Picks the candidate with the highest CPU idle fraction.
+class LeastLoadedCpuPolicy final : public SelectionPolicy {
+public:
+  LeastLoadedCpuPolicy();
+  const std::string &name() const override { return Name; }
+  Host *choose(NodeId Client, const std::vector<Host *> &Candidates,
+               InformationService &Info) override;
+
+private:
+  std::string Name;
+};
+
+/// The paper's weighted cost model: arg max of Eq. (1).
+class CostModelPolicy final : public SelectionPolicy {
+public:
+  explicit CostModelPolicy(CostWeights Weights = CostWeights());
+  const std::string &name() const override { return Name; }
+  Host *choose(NodeId Client, const std::vector<Host *> &Candidates,
+               InformationService &Info) override;
+
+  const CostModel &model() const { return Model; }
+
+private:
+  std::string Name;
+  CostModel Model;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_REPLICA_SELECTIONPOLICY_H

@@ -1,0 +1,181 @@
+//===- replica/StorageElement.cpp ----------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "replica/StorageElement.h"
+
+#include <cassert>
+
+using namespace dgsim;
+
+const char *dgsim::evictionPolicyName(EvictionPolicy P) {
+  switch (P) {
+  case EvictionPolicy::None:
+    return "none";
+  case EvictionPolicy::Lru:
+    return "lru";
+  case EvictionPolicy::Lfu:
+    return "lfu";
+  }
+  assert(false && "unknown eviction policy");
+  return "?";
+}
+
+StorageElement::StorageElement(Host &Owner, Bytes Capacity)
+    : Owner(Owner), Capacity(Capacity) {
+  assert(Capacity > 0.0 && "storage elements need positive capacity");
+}
+
+bool StorageElement::contains(const std::string &Lfn) const {
+  return Entries.find(Lfn) != Entries.end();
+}
+
+void StorageElement::touch(const std::string &Lfn, SimTime Now) {
+  auto It = Entries.find(Lfn);
+  if (It == Entries.end())
+    return;
+  It->second.LastAccess = Now;
+  ++It->second.AccessCount;
+}
+
+void StorageElement::add(const std::string &Lfn, Bytes Size, SimTime Now) {
+  assert(Size >= 0.0 && "negative file size");
+  assert(!contains(Lfn) && "file already stored");
+  assert(Used + Size <= Capacity * (1.0 + 1e-9) &&
+         "storing beyond capacity; call ensureSpace first");
+  Entry E;
+  E.Size = Size;
+  E.LastAccess = Now;
+  E.AccessCount = 1;
+  Entries.emplace(Lfn, E);
+  Used += Size;
+}
+
+bool StorageElement::remove(const std::string &Lfn) {
+  auto It = Entries.find(Lfn);
+  if (It == Entries.end())
+    return false;
+  Used -= It->second.Size;
+  if (Used < 0.0)
+    Used = 0.0;
+  Entries.erase(It);
+  return true;
+}
+
+void StorageElement::setPinned(const std::string &Lfn, bool Pinned) {
+  auto It = Entries.find(Lfn);
+  assert(It != Entries.end() && "pinning an absent file");
+  It->second.Pinned = Pinned;
+}
+
+bool StorageElement::pinned(const std::string &Lfn) const {
+  auto It = Entries.find(Lfn);
+  return It != Entries.end() && It->second.Pinned;
+}
+
+uint64_t StorageElement::accessCount(const std::string &Lfn) const {
+  auto It = Entries.find(Lfn);
+  return It == Entries.end() ? 0 : It->second.AccessCount;
+}
+
+std::string StorageElement::pickVictim(
+    EvictionPolicy Policy,
+    const std::function<bool(const std::string &)> &CanEvict) const {
+  if (Policy == EvictionPolicy::None)
+    return {};
+  const std::string *Victim = nullptr;
+  const Entry *VictimEntry = nullptr;
+  for (const auto &[Lfn, E] : Entries) {
+    if (E.Pinned)
+      continue;
+    if (CanEvict && !CanEvict(Lfn))
+      continue;
+    bool Better = false;
+    if (!VictimEntry) {
+      Better = true;
+    } else if (Policy == EvictionPolicy::Lru) {
+      Better = E.LastAccess < VictimEntry->LastAccess;
+    } else { // Lfu
+      Better = E.AccessCount < VictimEntry->AccessCount ||
+               (E.AccessCount == VictimEntry->AccessCount &&
+                E.LastAccess < VictimEntry->LastAccess);
+    }
+    if (Better) {
+      Victim = &Lfn;
+      VictimEntry = &E;
+    }
+  }
+  return Victim ? *Victim : std::string();
+}
+
+std::vector<std::string> StorageElement::files() const {
+  std::vector<std::string> Names;
+  Names.reserve(Entries.size());
+  for (const auto &[Lfn, E] : Entries)
+    Names.push_back(Lfn);
+  return Names;
+}
+
+StorageManager::StorageManager(ReplicaCatalog &Catalog,
+                               EvictionPolicy Policy)
+    : Catalog(Catalog), Policy(Policy) {}
+
+StorageElement &StorageManager::attachStore(Host &H, Bytes Capacity) {
+  assert(Stores.find(&H) == Stores.end() && "host already has a store");
+  auto [It, Inserted] =
+      Stores.emplace(&H, StorageElement(H, Capacity));
+  (void)Inserted;
+  return It->second;
+}
+
+StorageElement *StorageManager::storeOf(const Host &H) {
+  auto It = Stores.find(&H);
+  return It == Stores.end() ? nullptr : &It->second;
+}
+
+bool StorageManager::ensureSpace(Host &H, Bytes Size, SimTime Now,
+                                 uint64_t IncomingHotness) {
+  (void)Now;
+  StorageElement *SE = storeOf(H);
+  assert(SE && "host has no attached store");
+  if (Size > SE->capacity())
+    return false; // Could never fit.
+
+  // Evict until the file fits; last catalogued copies are untouchable,
+  // and (under admission control) so are files at least as hot as the
+  // one trying to come in.
+  auto CanEvict = [this, SE, IncomingHotness](const std::string &Lfn) {
+    if (Catalog.locate(Lfn).size() <= 1)
+      return false;
+    return SE->accessCount(Lfn) < IncomingHotness;
+  };
+  while (SE->freeBytes() < Size) {
+    std::string Victim = SE->pickVictim(Policy, CanEvict);
+    if (Victim.empty())
+      return false;
+    SE->remove(Victim);
+    Catalog.removeReplica(Victim, H);
+    ++Evictions;
+  }
+  return true;
+}
+
+void StorageManager::recordPlacement(const std::string &Lfn, Host &H,
+                                     SimTime Now) {
+  StorageElement *SE = storeOf(H);
+  assert(SE && "host has no attached store");
+  assert(Catalog.hasFile(Lfn) && "placing an unregistered file");
+  if (!SE->contains(Lfn))
+    SE->add(Lfn, Catalog.fileSize(Lfn), Now);
+  Catalog.addReplica(Lfn, H);
+}
+
+void StorageManager::recordAccess(const std::string &Lfn, const Host &H,
+                                  SimTime Now) {
+  auto It = Stores.find(&H);
+  if (It == Stores.end())
+    return;
+  It->second.touch(Lfn, Now);
+}

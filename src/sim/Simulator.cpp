@@ -1,0 +1,122 @@
+//===- sim/Simulator.cpp --------------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace dgsim;
+
+// Periodic handles live in a separate id space, distinguished by the top bit
+// so they can never collide with plain event ids.
+static constexpr EventId PeriodicTag = 1ULL << 63;
+
+Simulator::Simulator(uint64_t Seed) : Rng(Seed) {}
+
+EventId Simulator::schedule(SimTime Delay, std::function<void()> Fn) {
+  assert(Delay >= 0.0 && "cannot schedule into the past");
+  return scheduleImpl(Now + Delay, /*Daemon=*/false, std::move(Fn));
+}
+
+EventId Simulator::scheduleAt(SimTime Time, std::function<void()> Fn) {
+  return scheduleImpl(Time, /*Daemon=*/false, std::move(Fn));
+}
+
+EventId Simulator::scheduleDaemon(SimTime Delay, std::function<void()> Fn) {
+  assert(Delay >= 0.0 && "cannot schedule into the past");
+  return scheduleImpl(Now + Delay, /*Daemon=*/true, std::move(Fn));
+}
+
+EventId Simulator::scheduleDaemonAt(SimTime Time, std::function<void()> Fn) {
+  return scheduleImpl(Time, /*Daemon=*/true, std::move(Fn));
+}
+
+EventId Simulator::scheduleImpl(SimTime Time, bool Daemon,
+                                std::function<void()> Fn) {
+  assert(Time >= Now && "cannot schedule into the past");
+  EventId Id = NextId++;
+  assert((Id & PeriodicTag) == 0 && "event id space exhausted");
+  Queue.push(QueuedEvent{Time, NextSeq++, Id, Daemon, std::move(Fn)});
+  Pending.insert(Id);
+  if (Daemon)
+    PendingDaemons.insert(Id);
+  return Id;
+}
+
+bool Simulator::cancel(EventId Id) {
+  if (Id == InvalidEventId || (Id & PeriodicTag) != 0)
+    return false;
+  // Lazy deletion: forget the id; the queue entry is dropped when popped.
+  if (Pending.erase(Id) == 0)
+    return false;
+  PendingDaemons.erase(Id);
+  return true;
+}
+
+void Simulator::executeUntil(SimTime Deadline, bool StopWhenOnlyDaemons) {
+  StopRequested = false;
+  while (!Queue.empty() && !StopRequested) {
+    if (StopWhenOnlyDaemons && Pending.size() == PendingDaemons.size())
+      break;
+    if (Queue.top().Time > Deadline)
+      break;
+    QueuedEvent Ev = Queue.top();
+    Queue.pop();
+    if (Pending.erase(Ev.Id) == 0)
+      continue; // Cancelled.
+    PendingDaemons.erase(Ev.Id);
+    assert(Ev.Time >= Now && "event queue went backwards");
+    Now = Ev.Time;
+    ++Executed;
+    Ev.Fn();
+  }
+}
+
+void Simulator::run() {
+  executeUntil(std::numeric_limits<double>::infinity(),
+               /*StopWhenOnlyDaemons=*/true);
+}
+
+void Simulator::runUntil(SimTime Deadline) {
+  assert(Deadline >= Now && "deadline already passed");
+  executeUntil(Deadline, /*StopWhenOnlyDaemons=*/false);
+  if (!StopRequested && Now < Deadline)
+    Now = Deadline;
+}
+
+EventId Simulator::schedulePeriodic(SimTime Period, std::function<void()> Fn,
+                                    SimTime Phase) {
+  assert(Period > 0.0 && "periodic activity needs a positive period");
+  assert(Phase >= 0.0 && "negative phase");
+  uint64_t Index = Periodics.size();
+  Periodics.push_back(
+      PeriodicState{Period, std::move(Fn), true, InvalidEventId});
+  Periodics[Index].PendingEvent =
+      scheduleDaemon(Phase, [this, Index] { firePeriodic(Index); });
+  return PeriodicTag | Index;
+}
+
+void Simulator::cancelPeriodic(EventId Id) {
+  assert((Id & PeriodicTag) != 0 && "not a periodic handle");
+  uint64_t Index = Id & ~PeriodicTag;
+  assert(Index < Periodics.size() && "unknown periodic handle");
+  PeriodicState &P = Periodics[Index];
+  P.Active = false;
+  if (P.PendingEvent != InvalidEventId) {
+    cancel(P.PendingEvent);
+    P.PendingEvent = InvalidEventId;
+  }
+}
+
+void Simulator::firePeriodic(uint64_t PeriodicId) {
+  PeriodicState &P = Periodics[PeriodicId];
+  if (!P.Active)
+    return;
+  P.PendingEvent = scheduleDaemon(
+      P.Period, [this, PeriodicId] { firePeriodic(PeriodicId); });
+  P.Fn();
+}

@@ -1,0 +1,148 @@
+//===- sim/Simulator.h - Discrete-event simulation kernel -----------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The discrete-event kernel every dgsim subsystem runs on.
+///
+/// Events are (time, sequence, callback) triples ordered by time with FIFO
+/// tie-breaking, which makes runs deterministic.  Components schedule
+/// closures; the kernel owns the clock and a root RandomEngine from which
+/// components fork their private streams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_SIM_SIMULATOR_H
+#define DGSIM_SIM_SIMULATOR_H
+
+#include "support/Random.h"
+#include "support/Units.h"
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace dgsim {
+
+/// Opaque handle identifying a scheduled event; usable to cancel it.
+using EventId = uint64_t;
+
+/// Invalid event handle.
+inline constexpr EventId InvalidEventId = 0;
+
+/// Discrete-event simulator: clock, event queue, and root PRNG.
+class Simulator {
+public:
+  /// Creates a simulator whose PRNG tree is rooted at \p Seed.
+  explicit Simulator(uint64_t Seed = 1);
+
+  Simulator(const Simulator &) = delete;
+  Simulator &operator=(const Simulator &) = delete;
+
+  /// \returns the current simulation time in seconds.
+  SimTime now() const { return Now; }
+
+  /// Schedules \p Fn to run \p Delay seconds from now (Delay >= 0).
+  /// \returns a handle that can cancel the event before it fires.
+  EventId schedule(SimTime Delay, std::function<void()> Fn);
+
+  /// Schedules \p Fn at absolute time \p Time (>= now()).
+  EventId scheduleAt(SimTime Time, std::function<void()> Fn);
+
+  /// Schedules a *daemon* event: background activity (monitoring ticks,
+  /// load processes, traffic arrivals) that does not keep run() alive.
+  /// run() returns when only daemon events remain pending.
+  EventId scheduleDaemon(SimTime Delay, std::function<void()> Fn);
+
+  /// Daemon event at an absolute time (>= now()).
+  EventId scheduleDaemonAt(SimTime Time, std::function<void()> Fn);
+
+  /// Cancels a pending event.  Cancelling an already-fired or invalid handle
+  /// is a no-op.  \returns true if the event was pending.
+  bool cancel(EventId Id);
+
+  /// Runs until no non-daemon events remain or stop() is called.  Daemon
+  /// events that fall before the last non-daemon event still fire.
+  void run();
+
+  /// Runs until the clock reaches \p Deadline (events at exactly Deadline
+  /// still fire), the queue drains, or stop() is called.  The clock is
+  /// advanced to \p Deadline if the queue drained earlier.
+  void runUntil(SimTime Deadline);
+
+  /// Requests that run()/runUntil() return after the current event.
+  void stop() { StopRequested = true; }
+
+  /// \returns the number of events executed so far.
+  uint64_t eventsExecuted() const { return Executed; }
+
+  /// \returns the number of events currently pending.
+  size_t pendingEvents() const { return Pending.size(); }
+
+  /// Forks an independent random stream for a component.  Fork order is
+  /// deterministic, so construct components in a fixed order.
+  RandomEngine forkRng() { return Rng.fork(); }
+
+  /// Starts a periodic activity: \p Fn fires every \p Period seconds, first
+  /// firing after \p Phase seconds.  The activity reschedules itself until
+  /// cancelPeriodic() is called with the returned handle.  Periodic events
+  /// are daemons: they never keep run() alive on their own.
+  EventId schedulePeriodic(SimTime Period, std::function<void()> Fn,
+                           SimTime Phase = 0.0);
+
+  /// Stops a periodic activity created by schedulePeriodic().
+  void cancelPeriodic(EventId Id);
+
+private:
+  struct QueuedEvent {
+    SimTime Time;
+    uint64_t Seq;
+    EventId Id;
+    bool Daemon;
+    std::function<void()> Fn;
+
+    bool operator>(const QueuedEvent &Other) const {
+      if (Time != Other.Time)
+        return Time > Other.Time;
+      return Seq > Other.Seq;
+    }
+  };
+
+  struct PeriodicState {
+    SimTime Period;
+    std::function<void()> Fn;
+    bool Active = true;
+    EventId PendingEvent = InvalidEventId;
+  };
+
+  void firePeriodic(uint64_t PeriodicId);
+  EventId scheduleImpl(SimTime Time, bool Daemon, std::function<void()> Fn);
+  void executeUntil(SimTime Deadline, bool StopWhenOnlyDaemons);
+
+  SimTime Now = 0.0;
+  uint64_t NextSeq = 0;
+  EventId NextId = 1;
+  uint64_t Executed = 0;
+  bool StopRequested = false;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>,
+                      std::greater<QueuedEvent>>
+      Queue;
+  // Ids of events that are scheduled but have not fired or been cancelled.
+  // cancel() removes an id here; the queue entry is dropped lazily on pop.
+  std::unordered_set<EventId> Pending;
+  // The subset of Pending that are daemon events; run() exits when
+  // Pending.size() == PendingDaemons.size().
+  std::unordered_set<EventId> PendingDaemons;
+  // Periodic activities are keyed by their own id space, offset so handles
+  // never collide with plain event ids (both are returned as EventId).
+  std::vector<PeriodicState> Periodics;
+  RandomEngine Rng;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_SIM_SIMULATOR_H

@@ -1,0 +1,182 @@
+//===- support/Statistics.cpp ---------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+using namespace dgsim;
+
+void RunningStats::add(double X) {
+  if (Count == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++Count;
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(Count);
+  M2 += Delta * (X - Mean);
+}
+
+void RunningStats::merge(const RunningStats &Other) {
+  if (Other.Count == 0)
+    return;
+  if (Count == 0) {
+    *this = Other;
+    return;
+  }
+  double Delta = Other.Mean - Mean;
+  size_t Total = Count + Other.Count;
+  double NA = static_cast<double>(Count);
+  double NB = static_cast<double>(Other.Count);
+  Mean += Delta * NB / (NA + NB);
+  M2 += Other.M2 + Delta * Delta * NA * NB / (NA + NB);
+  Min = std::min(Min, Other.Min);
+  Max = std::max(Max, Other.Max);
+  Count = Total;
+}
+
+void RunningStats::clear() { *this = RunningStats(); }
+
+double RunningStats::mean() const { return Count ? Mean : 0.0; }
+
+double RunningStats::variance() const {
+  if (Count < 2)
+    return 0.0;
+  return M2 / static_cast<double>(Count - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  return Count ? Min : std::numeric_limits<double>::infinity();
+}
+
+double RunningStats::max() const {
+  return Count ? Max : -std::numeric_limits<double>::infinity();
+}
+
+double stats::percentile(std::vector<double> Values, double Q) {
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile outside [0, 1]");
+  if (Values.empty())
+    return 0.0;
+  std::sort(Values.begin(), Values.end());
+  double Pos = Q * static_cast<double>(Values.size() - 1);
+  size_t Lo = static_cast<size_t>(Pos);
+  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Pos - static_cast<double>(Lo);
+  return Values[Lo] * (1.0 - Frac) + Values[Hi] * Frac;
+}
+
+double stats::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  return std::accumulate(Values.begin(), Values.end(), 0.0) /
+         static_cast<double>(Values.size());
+}
+
+double stats::median(std::vector<double> Values) {
+  return percentile(std::move(Values), 0.5);
+}
+
+double stats::meanSquaredError(const std::vector<double> &Predicted,
+                               const std::vector<double> &Actual) {
+  assert(Predicted.size() == Actual.size() && "length mismatch");
+  if (Predicted.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (size_t I = 0, E = Predicted.size(); I != E; ++I) {
+    double D = Predicted[I] - Actual[I];
+    Sum += D * D;
+  }
+  return Sum / static_cast<double>(Predicted.size());
+}
+
+double stats::meanAbsoluteError(const std::vector<double> &Predicted,
+                                const std::vector<double> &Actual) {
+  assert(Predicted.size() == Actual.size() && "length mismatch");
+  if (Predicted.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (size_t I = 0, E = Predicted.size(); I != E; ++I)
+    Sum += std::fabs(Predicted[I] - Actual[I]);
+  return Sum / static_cast<double>(Predicted.size());
+}
+
+double stats::pearson(const std::vector<double> &X,
+                      const std::vector<double> &Y) {
+  assert(X.size() == Y.size() && "length mismatch");
+  size_t N = X.size();
+  if (N < 2)
+    return 0.0;
+  double MX = mean(X), MY = mean(Y);
+  double SXY = 0.0, SXX = 0.0, SYY = 0.0;
+  for (size_t I = 0; I != N; ++I) {
+    double DX = X[I] - MX, DY = Y[I] - MY;
+    SXY += DX * DY;
+    SXX += DX * DX;
+    SYY += DY * DY;
+  }
+  if (SXX == 0.0 || SYY == 0.0)
+    return 0.0;
+  return SXY / std::sqrt(SXX * SYY);
+}
+
+std::vector<double> stats::ranks(const std::vector<double> &Values) {
+  size_t N = Values.size();
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), 0);
+  std::sort(Order.begin(), Order.end(),
+            [&](size_t A, size_t B) { return Values[A] < Values[B]; });
+  std::vector<double> Result(N, 0.0);
+  size_t I = 0;
+  while (I < N) {
+    // Walk a run of ties and assign the average rank to every member.
+    size_t J = I;
+    while (J + 1 < N && Values[Order[J + 1]] == Values[Order[I]])
+      ++J;
+    double AvgRank = (static_cast<double>(I) + static_cast<double>(J)) / 2.0 +
+                     1.0;
+    for (size_t K = I; K <= J; ++K)
+      Result[Order[K]] = AvgRank;
+    I = J + 1;
+  }
+  return Result;
+}
+
+double stats::spearman(const std::vector<double> &X,
+                       const std::vector<double> &Y) {
+  assert(X.size() == Y.size() && "length mismatch");
+  return pearson(ranks(X), ranks(Y));
+}
+
+double stats::kendallTau(const std::vector<double> &X,
+                         const std::vector<double> &Y) {
+  assert(X.size() == Y.size() && "length mismatch");
+  size_t N = X.size();
+  if (N < 2)
+    return 0.0;
+  long Concordant = 0, Discordant = 0;
+  for (size_t I = 0; I != N; ++I) {
+    for (size_t J = I + 1; J != N; ++J) {
+      double DX = X[I] - X[J], DY = Y[I] - Y[J];
+      double Prod = DX * DY;
+      if (Prod > 0.0)
+        ++Concordant;
+      else if (Prod < 0.0)
+        ++Discordant;
+      // Ties contribute to neither (tau-a).
+    }
+  }
+  double Pairs = static_cast<double>(N) * static_cast<double>(N - 1) / 2.0;
+  return static_cast<double>(Concordant - Discordant) / Pairs;
+}

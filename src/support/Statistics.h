@@ -1,0 +1,100 @@
+//===- support/Statistics.h - Streaming and batch statistics -------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming moment accumulation (Welford) and the batch statistics the
+/// experiment harness reports: percentiles, forecasting error metrics, and
+/// rank correlations used to score replica-selection quality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_SUPPORT_STATISTICS_H
+#define DGSIM_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace dgsim {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+public:
+  /// Adds one observation.
+  void add(double X);
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void merge(const RunningStats &Other);
+
+  /// Resets to the empty state.
+  void clear();
+
+  size_t count() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  /// \returns the sample mean; 0 when empty.
+  double mean() const;
+
+  /// \returns the unbiased sample variance; 0 with fewer than two samples.
+  double variance() const;
+
+  /// \returns the unbiased sample standard deviation.
+  double stddev() const;
+
+  /// \returns the smallest observation; +inf when empty.
+  double min() const;
+
+  /// \returns the largest observation; -inf when empty.
+  double max() const;
+
+  /// \returns the sum of all observations.
+  double sum() const { return Mean * static_cast<double>(Count); }
+
+private:
+  size_t Count = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+namespace stats {
+
+/// \returns the \p Q quantile (0 <= Q <= 1) of \p Values using linear
+/// interpolation between order statistics.  Returns 0 for empty input.
+double percentile(std::vector<double> Values, double Q);
+
+/// \returns the arithmetic mean; 0 for empty input.
+double mean(const std::vector<double> &Values);
+
+/// \returns the median; 0 for empty input.
+double median(std::vector<double> Values);
+
+/// Mean squared error between predictions and observations (equal length).
+double meanSquaredError(const std::vector<double> &Predicted,
+                        const std::vector<double> &Actual);
+
+/// Mean absolute error between predictions and observations (equal length).
+double meanAbsoluteError(const std::vector<double> &Predicted,
+                         const std::vector<double> &Actual);
+
+/// Pearson linear correlation coefficient; 0 when either side is constant.
+double pearson(const std::vector<double> &X, const std::vector<double> &Y);
+
+/// Spearman rank correlation; 0 when either side is constant.
+/// Ties receive average (fractional) ranks.
+double spearman(const std::vector<double> &X, const std::vector<double> &Y);
+
+/// Kendall tau-a rank correlation (pairwise concordance).  Used to compare a
+/// cost-model ranking against the oracle transfer-time ranking.
+double kendallTau(const std::vector<double> &X, const std::vector<double> &Y);
+
+/// Average (fractional) ranks of \p Values, smallest value gets rank 1.
+std::vector<double> ranks(const std::vector<double> &Values);
+
+} // namespace stats
+} // namespace dgsim
+
+#endif // DGSIM_SUPPORT_STATISTICS_H

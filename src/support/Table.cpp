@@ -1,0 +1,135 @@
+//===- support/Table.cpp --------------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace dgsim;
+
+void Table::setHeader(std::vector<std::string> Names) {
+  assert(Rows.empty() && "header must be set before rows");
+  Header = std::move(Names);
+}
+
+void Table::beginRow() { Rows.emplace_back(); }
+
+void Table::add(std::string Cell) {
+  assert(!Rows.empty() && "beginRow() before add()");
+  Rows.back().push_back(std::move(Cell));
+}
+
+void Table::add(double Value, int Precision) {
+  add(fmt::fixed(Value, Precision));
+}
+
+void Table::add(long long Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%lld", Value);
+  add(std::string(Buf));
+}
+
+std::string Table::str() const {
+  // Column widths across header and all rows.
+  size_t Cols = Header.size();
+  for (const auto &Row : Rows)
+    Cols = std::max(Cols, Row.size());
+  std::vector<size_t> Width(Cols, 0);
+  auto Widen = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0, E = Row.size(); I != E; ++I)
+      Width[I] = std::max(Width[I], Row[I].size());
+  };
+  Widen(Header);
+  for (const auto &Row : Rows)
+    Widen(Row);
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t I = 0; I != Cols; ++I) {
+      const std::string Cell = I < Row.size() ? Row[I] : std::string();
+      Line += "  ";
+      Line += Cell;
+      Line.append(Width[I] - Cell.size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out;
+  if (!Header.empty()) {
+    Out += RenderRow(Header);
+    std::string Rule;
+    for (size_t I = 0; I != Cols; ++I) {
+      Rule += "  ";
+      Rule.append(Width[I], '-');
+    }
+    Out += Rule + '\n';
+  }
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}
+
+void Table::print(std::FILE *Out) const {
+  std::string S = str();
+  std::fwrite(S.data(), 1, S.size(), Out);
+}
+
+std::string fmt::fixed(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return std::string(Buf);
+}
+
+std::string fmt::bytes(double Bytes) {
+  const double KB = 1024.0, MB = KB * 1024.0, GB = MB * 1024.0;
+  char Buf[64];
+  if (Bytes >= GB)
+    std::snprintf(Buf, sizeof(Buf), "%.1f GB", Bytes / GB);
+  else if (Bytes >= MB)
+    std::snprintf(Buf, sizeof(Buf), "%.1f MB", Bytes / MB);
+  else if (Bytes >= KB)
+    std::snprintf(Buf, sizeof(Buf), "%.1f KB", Bytes / KB);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.0f B", Bytes);
+  return std::string(Buf);
+}
+
+std::string fmt::rate(double BitsPerSecond) {
+  char Buf[64];
+  if (BitsPerSecond >= 1e9)
+    std::snprintf(Buf, sizeof(Buf), "%.1f Gb/s", BitsPerSecond / 1e9);
+  else if (BitsPerSecond >= 1e6)
+    std::snprintf(Buf, sizeof(Buf), "%.1f Mb/s", BitsPerSecond / 1e6);
+  else if (BitsPerSecond >= 1e3)
+    std::snprintf(Buf, sizeof(Buf), "%.1f Kb/s", BitsPerSecond / 1e3);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.0f b/s", BitsPerSecond);
+  return std::string(Buf);
+}
+
+std::string fmt::seconds(double Seconds) {
+  char Buf[64];
+  if (Seconds >= 60.0) {
+    int Mins = static_cast<int>(Seconds / 60.0);
+    double Rem = Seconds - 60.0 * Mins;
+    std::snprintf(Buf, sizeof(Buf), "%dm%04.1fs", Mins, Rem);
+  } else {
+    std::snprintf(Buf, sizeof(Buf), "%.1f s", Seconds);
+  }
+  return std::string(Buf);
+}
+
+std::string fmt::percent(double Fraction) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f%%", Fraction * 100.0);
+  return std::string(Buf);
+}

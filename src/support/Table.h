@@ -1,0 +1,75 @@
+//===- support/Table.h - ASCII table rendering for tools ------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small ASCII table printer used by the bench harness and examples to
+/// emit the paper's tables/figures as aligned terminal output.  The library
+/// itself never prints; only tools do, via std::FILE*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_SUPPORT_TABLE_H
+#define DGSIM_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dgsim {
+
+/// Column-aligned ASCII table.  Add a header once, then rows of cells; cells
+/// may be strings or numbers (formatted with a per-call precision).
+class Table {
+public:
+  /// Sets the column headers.  Must be called before any row.
+  void setHeader(std::vector<std::string> Names);
+
+  /// Begins a new row.
+  void beginRow();
+
+  /// Appends a string cell to the current row.
+  void add(std::string Cell);
+
+  /// Appends a numeric cell with \p Precision digits after the point.
+  void add(double Value, int Precision = 2);
+
+  /// Appends an integer cell.
+  void add(long long Value);
+
+  /// Renders the table to \p Out with a separator under the header.
+  void print(std::FILE *Out) const;
+
+  /// Renders the table to a string (used by tests).
+  std::string str() const;
+
+  size_t rowCount() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+namespace fmt {
+
+/// printf-style double with fixed \p Precision.
+std::string fixed(double Value, int Precision = 2);
+
+/// Human-readable data volume ("256.0 MB", "2.0 GB").
+std::string bytes(double Bytes);
+
+/// Human-readable bit rate ("30.0 Mb/s", "1.0 Gb/s").
+std::string rate(double BitsPerSecond);
+
+/// Human-readable duration ("12.3 s", "4m05s").
+std::string seconds(double Seconds);
+
+/// Percentage with one decimal ("87.5%"); input in [0, 1].
+std::string percent(double Fraction);
+
+} // namespace fmt
+} // namespace dgsim
+
+#endif // DGSIM_SUPPORT_TABLE_H

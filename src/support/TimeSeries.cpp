@@ -1,0 +1,69 @@
+//===- support/TimeSeries.cpp ---------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TimeSeries.h"
+
+#include <cassert>
+
+using namespace dgsim;
+
+void TimeSeries::add(SimTime Time, double Value) {
+  assert((Samples.empty() || Time >= Samples.back().Time) &&
+         "samples must arrive in time order");
+  Samples.push_back(Sample{Time, Value});
+  if (Capacity != 0 && Samples.size() > Capacity)
+    Samples.pop_front();
+}
+
+const Sample &TimeSeries::latest() const {
+  assert(!Samples.empty() && "latest() on empty series");
+  return Samples.back();
+}
+
+const Sample &TimeSeries::at(size_t I) const {
+  assert(I < Samples.size() && "sample index out of range");
+  return Samples[I];
+}
+
+std::vector<double> TimeSeries::lastValues(size_t N) const {
+  size_t Take = N < Samples.size() ? N : Samples.size();
+  std::vector<double> Result;
+  Result.reserve(Take);
+  for (size_t I = Samples.size() - Take, E = Samples.size(); I != E; ++I)
+    Result.push_back(Samples[I].Value);
+  return Result;
+}
+
+double TimeSeries::meanSince(SimTime Since) const {
+  double Sum = 0.0;
+  size_t Count = 0;
+  // Scan from the newest sample backwards; stops at the cutoff.
+  for (size_t I = Samples.size(); I-- > 0;) {
+    if (Samples[I].Time < Since)
+      break;
+    Sum += Samples[I].Value;
+    ++Count;
+  }
+  return Count ? Sum / static_cast<double>(Count) : 0.0;
+}
+
+size_t TimeSeries::countSince(SimTime Since) const {
+  size_t Count = 0;
+  for (size_t I = Samples.size(); I-- > 0;) {
+    if (Samples[I].Time < Since)
+      break;
+    ++Count;
+  }
+  return Count;
+}
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> Result;
+  Result.reserve(Samples.size());
+  for (const Sample &S : Samples)
+    Result.push_back(S.Value);
+  return Result;
+}

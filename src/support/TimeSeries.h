@@ -1,0 +1,76 @@
+//===- support/TimeSeries.h - Timestamped measurement series --------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded, time-ordered series of (timestamp, value) samples.
+///
+/// Used by the NWS-style monitoring layer as its persistent measurement
+/// store (the paper's nws_memory) and by the Fig 5 cost program for its
+/// adjustable time-scale averaging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_SUPPORT_TIMESERIES_H
+#define DGSIM_SUPPORT_TIMESERIES_H
+
+#include "support/Units.h"
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace dgsim {
+
+/// One timestamped observation.
+struct Sample {
+  SimTime Time = 0.0;
+  double Value = 0.0;
+};
+
+/// Time-ordered sample buffer with a configurable capacity; the oldest
+/// samples are evicted first (NWS keeps a fixed history per sensor).
+class TimeSeries {
+public:
+  /// \p Capacity zero means unbounded.
+  explicit TimeSeries(size_t Capacity = 0) : Capacity(Capacity) {}
+
+  /// Appends a sample.  Timestamps must be non-decreasing.
+  void add(SimTime Time, double Value);
+
+  bool empty() const { return Samples.empty(); }
+  size_t size() const { return Samples.size(); }
+
+  /// \returns the most recent sample; series must be non-empty.
+  const Sample &latest() const;
+
+  /// \returns the sample at position \p I (0 = oldest).
+  const Sample &at(size_t I) const;
+
+  /// \returns the values of the most recent \p N samples, oldest first.
+  /// Returns all samples when fewer than \p N exist.
+  std::vector<double> lastValues(size_t N) const;
+
+  /// \returns the mean of samples with Time >= \p Since; 0 when none match.
+  /// This is the Fig 5 "time scale" average.
+  double meanSince(SimTime Since) const;
+
+  /// \returns the number of samples with Time >= \p Since.
+  size_t countSince(SimTime Since) const;
+
+  /// \returns all values, oldest first.
+  std::vector<double> values() const;
+
+  /// Removes every sample.
+  void clear() { Samples.clear(); }
+
+private:
+  size_t Capacity;
+  std::deque<Sample> Samples;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_SUPPORT_TIMESERIES_H

@@ -1,0 +1,86 @@
+//===- support/Units.h - Physical units used across the simulator --------===//
+//
+// Part of dgsim, a reproduction of Yang et al., "Performance Analysis of
+// Applying Replica Selection Technology for Data Grid Environments",
+// PaCT 2005.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit conventions and conversion helpers.
+///
+/// The simulator uses three base quantities throughout:
+///   * time     -- seconds, as double (simulation clock),
+///   * data     -- bytes, as double (fluid model; fractional bytes are fine),
+///   * rate     -- bits per second, as double.
+///
+/// Rates are bits/second (not bytes) because the paper and all networking
+/// literature quote link capacities in Mbps/Gbps.  Helpers convert at the
+/// boundaries so call sites never multiply by 8 by hand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_SUPPORT_UNITS_H
+#define DGSIM_SUPPORT_UNITS_H
+
+#include <cassert>
+
+namespace dgsim {
+
+/// Simulation time in seconds.
+using SimTime = double;
+
+/// Data volume in bytes (fluid; fractional values allowed).
+using Bytes = double;
+
+/// Transfer/link rate in bits per second.
+using BitRate = double;
+
+namespace units {
+
+inline constexpr double KB = 1024.0;
+inline constexpr double MB = 1024.0 * 1024.0;
+inline constexpr double GB = 1024.0 * 1024.0 * 1024.0;
+
+/// \returns \p N kilobytes expressed in bytes.
+constexpr Bytes kilobytes(double N) { return N * KB; }
+/// \returns \p N megabytes expressed in bytes.
+constexpr Bytes megabytes(double N) { return N * MB; }
+/// \returns \p N gigabytes expressed in bytes.
+constexpr Bytes gigabytes(double N) { return N * GB; }
+
+/// \returns \p N kilobits/second expressed in bits/second.
+constexpr BitRate kbps(double N) { return N * 1e3; }
+/// \returns \p N megabits/second expressed in bits/second.
+constexpr BitRate mbps(double N) { return N * 1e6; }
+/// \returns \p N gigabits/second expressed in bits/second.
+constexpr BitRate gbps(double N) { return N * 1e9; }
+
+/// \returns \p N milliseconds expressed in seconds.
+constexpr SimTime milliseconds(double N) { return N * 1e-3; }
+/// \returns \p N microseconds expressed in seconds.
+constexpr SimTime microseconds(double N) { return N * 1e-6; }
+/// \returns \p N minutes expressed in seconds.
+constexpr SimTime minutes(double N) { return N * 60.0; }
+/// \returns \p N hours expressed in seconds.
+constexpr SimTime hours(double N) { return N * 3600.0; }
+
+/// Converts a byte volume and a bit rate into a duration.
+/// \returns the time in seconds needed to move \p Volume at \p Rate.
+inline SimTime transferTime(Bytes Volume, BitRate Rate) {
+  assert(Rate > 0.0 && "transfer time undefined at zero rate");
+  return (Volume * 8.0) / Rate;
+}
+
+/// Converts a bit rate into a byte rate (bytes per second).
+constexpr double bytesPerSecond(BitRate Rate) { return Rate / 8.0; }
+
+/// Converts a byte-per-second figure into a bit rate.
+constexpr BitRate fromBytesPerSecond(double BytesPerSec) {
+  return BytesPerSec * 8.0;
+}
+
+} // namespace units
+} // namespace dgsim
+
+#endif // DGSIM_SUPPORT_UNITS_H

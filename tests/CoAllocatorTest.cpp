@@ -1,0 +1,140 @@
+//===- tests/CoAllocatorTest.cpp - Co-allocated downloads ------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "grid/Testbed.h"
+#include "replica/CoAllocator.h"
+
+#include <gtest/gtest.h>
+
+using namespace dgsim;
+using namespace dgsim::units;
+
+namespace {
+
+/// file-x lives on alpha3, alpha4 (fast WAN paths to HIT) and lz02 (slow).
+struct CoAllocFixture : ::testing::Test {
+  PaperTestbedOptions O;
+  std::unique_ptr<PaperTestbed> T;
+
+  void SetUp() override {
+    O.DynamicLoad = false;
+    O.CrossTraffic = false;
+    T = std::make_unique<PaperTestbed>(O);
+    ReplicaCatalog &Cat = T->grid().catalog();
+    Cat.registerFile("file-x", megabytes(512));
+    Cat.addReplica("file-x", T->alpha(3));
+    Cat.addReplica("file-x", T->alpha(4));
+    Cat.addReplica("file-x", T->lz(2));
+    T->sim().runUntil(30.0);
+  }
+
+  CoAllocator make(CoAllocationConfig C) {
+    return CoAllocator(T->grid().catalog(), T->grid().info(),
+                       T->grid().transfers(), C);
+  }
+
+  double fetchSeconds(CoAllocator &CA, Host &Client) {
+    double Seconds = -1.0;
+    CA.fetch("file-x", Client,
+             [&](const TransferResult &R) { Seconds = R.totalSeconds(); });
+    T->sim().run();
+    return Seconds;
+  }
+};
+
+} // namespace
+
+TEST_F(CoAllocFixture, PlanRanksByPredictedBandwidth) {
+  CoAllocationConfig C;
+  C.MaxSources = 2;
+  CoAllocator CA = make(C);
+  CoAllocationPlan Plan = CA.plan("file-x", T->hit(3));
+  ASSERT_EQ(Plan.Sources.size(), 2u);
+  // The two THU servers out-predict the Li-Zen one.
+  for (Host *H : Plan.Sources)
+    EXPECT_NE(H, &T->lz(2));
+  double Sum = 0.0;
+  for (double W : Plan.Weights)
+    Sum += W;
+  EXPECT_NEAR(Sum, 1.0, 1e-9);
+}
+
+TEST_F(CoAllocFixture, LocalReplicaShortCircuits) {
+  T->grid().catalog().addReplica("file-x", T->hit(3));
+  CoAllocator CA = make(CoAllocationConfig{});
+  CoAllocationPlan Plan = CA.plan("file-x", T->hit(3));
+  ASSERT_EQ(Plan.Sources.size(), 1u);
+  EXPECT_EQ(Plan.Sources[0], &T->hit(3));
+  EXPECT_DOUBLE_EQ(Plan.Weights[0], 1.0);
+}
+
+TEST_F(CoAllocFixture, ProportionalWeightsFollowBandwidth) {
+  CoAllocationConfig C;
+  C.MaxSources = 3;
+  C.MinShare = 0.0; // Keep lz02 to observe its small weight.
+  CoAllocator CA = make(C);
+  CoAllocationPlan Plan = CA.plan("file-x", T->hit(3));
+  ASSERT_EQ(Plan.Sources.size(), 3u);
+  // Weights are sorted with the sources (descending bandwidth).
+  EXPECT_GE(Plan.Weights[0], Plan.Weights[1]);
+  EXPECT_GE(Plan.Weights[1], Plan.Weights[2]);
+  // The 30 Mb/s server gets a single-digit share next to two ~200 Mb/s
+  // servers.
+  EXPECT_LT(Plan.Weights[2], 0.15);
+}
+
+TEST_F(CoAllocFixture, MinShareDropsNegligibleServers) {
+  CoAllocationConfig C;
+  C.MaxSources = 3;
+  C.MinShare = 0.10;
+  CoAllocator CA = make(C);
+  CoAllocationPlan Plan = CA.plan("file-x", T->hit(3));
+  EXPECT_EQ(Plan.Sources.size(), 2u); // lz02 dropped.
+}
+
+TEST_F(CoAllocFixture, CoAllocationBeatsSingleSourceWhenTcpBound) {
+  // Single source: TCP window-bound (~225 Mb/s) below hit3's disk.
+  CoAllocationConfig Single;
+  Single.MaxSources = 1;
+  Single.StreamsPerSource = 8;
+  CoAllocator One = make(Single);
+  double OneSrc = fetchSeconds(One, T->hit(3));
+
+  CoAllocationConfig Dual;
+  Dual.MaxSources = 2;
+  Dual.StreamsPerSource = 8;
+  CoAllocator Two = make(Dual);
+  double TwoSrc = fetchSeconds(Two, T->hit(3));
+  EXPECT_LT(TwoSrc, OneSrc * 0.9);
+}
+
+TEST_F(CoAllocFixture, ProportionalBeatsEqualSplitWithSlowServer) {
+  CoAllocationConfig Equal;
+  Equal.MaxSources = 3;
+  Equal.MinShare = 0.0;
+  Equal.Scheme = CoAllocationScheme::EqualSplit;
+  CoAllocator Eq = make(Equal);
+  double EqSeconds = fetchSeconds(Eq, T->hit(3));
+
+  CoAllocationConfig Prop = Equal;
+  Prop.Scheme = CoAllocationScheme::BandwidthProportional;
+  CoAllocator Pr = make(Prop);
+  double PrSeconds = fetchSeconds(Pr, T->hit(3));
+
+  // Equal split waits for lz02 to push a third of the file through
+  // 30 Mb/s; the proportional split gives it only its fair sliver.
+  EXPECT_LT(PrSeconds, EqSeconds * 0.5);
+}
+
+TEST_F(CoAllocFixture, FetchReportsFullFileBytes) {
+  CoAllocator CA = make(CoAllocationConfig{});
+  TransferResult Result;
+  CA.fetch("file-x", T->hit(3),
+           [&](const TransferResult &R) { Result = R; });
+  T->sim().run();
+  EXPECT_DOUBLE_EQ(Result.FileBytes, megabytes(512));
+  EXPECT_GT(Result.meanThroughput(), 0.0);
+}

@@ -1,0 +1,407 @@
+//===- tests/MonitorTest.cpp - Unit tests for the monitoring layer --------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "monitor/Forecaster.h"
+#include "monitor/InformationService.h"
+#include "monitor/NwsRegistry.h"
+#include "monitor/Sensor.h"
+#include "monitor/Sysstat.h"
+#include "net/CrossTraffic.h"
+#include "support/Statistics.h"
+#include "support/Units.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace dgsim;
+using namespace dgsim::units;
+
+//===----------------------------------------------------------------------===//
+// Individual forecasters
+//===----------------------------------------------------------------------===//
+
+TEST(Forecaster, LastValue) {
+  LastValueForecaster F;
+  EXPECT_DOUBLE_EQ(F.predict(), 0.0);
+  F.observe(3.0);
+  F.observe(7.0);
+  EXPECT_DOUBLE_EQ(F.predict(), 7.0);
+}
+
+TEST(Forecaster, RunningMean) {
+  RunningMeanForecaster F;
+  for (double X : {2.0, 4.0, 6.0})
+    F.observe(X);
+  EXPECT_DOUBLE_EQ(F.predict(), 4.0);
+}
+
+TEST(Forecaster, SlidingMeanWindow) {
+  SlidingMeanForecaster F(3);
+  for (double X : {1.0, 2.0, 3.0, 4.0, 5.0})
+    F.observe(X);
+  EXPECT_DOUBLE_EQ(F.predict(), 4.0); // mean(3,4,5)
+  EXPECT_EQ(F.name(), "sw_mean(3)");
+}
+
+TEST(Forecaster, SlidingMedianOddEven) {
+  SlidingMedianForecaster F(4);
+  F.observe(10.0);
+  EXPECT_DOUBLE_EQ(F.predict(), 10.0);
+  F.observe(2.0);
+  EXPECT_DOUBLE_EQ(F.predict(), 6.0); // even window
+  F.observe(8.0);
+  EXPECT_DOUBLE_EQ(F.predict(), 8.0); // median(10,2,8)
+  F.observe(100.0);
+  F.observe(4.0); // window now 2,8,100,4
+  EXPECT_DOUBLE_EQ(F.predict(), 6.0);
+}
+
+TEST(Forecaster, ExponentialSmoothing) {
+  ExponentialSmoothingForecaster F(0.5);
+  F.observe(10.0); // Initialises to the first value.
+  EXPECT_DOUBLE_EQ(F.predict(), 10.0);
+  F.observe(20.0);
+  EXPECT_DOUBLE_EQ(F.predict(), 15.0);
+  F.observe(20.0);
+  EXPECT_DOUBLE_EQ(F.predict(), 17.5);
+}
+
+//===----------------------------------------------------------------------===//
+// NWS adaptive meta-forecaster
+//===----------------------------------------------------------------------===//
+
+TEST(NwsForecaster, ConstantSeriesIsPredictedExactly) {
+  NwsForecaster F;
+  for (int I = 0; I < 50; ++I)
+    F.observe(42.0);
+  EXPECT_DOUBLE_EQ(F.predict(), 42.0);
+  EXPECT_DOUBLE_EQ(F.memberMse(0), 0.0);
+}
+
+TEST(NwsForecaster, TracksLevelShift) {
+  NwsForecaster F;
+  for (int I = 0; I < 100; ++I)
+    F.observe(10.0);
+  for (int I = 0; I < 100; ++I)
+    F.observe(50.0);
+  // After a long stretch at the new level the forecast must approach it.
+  EXPECT_NEAR(F.predict(), 50.0, 5.0);
+}
+
+TEST(NwsForecaster, AdaptiveBeatsWorstMember) {
+  // Noisy series around a drifting level: the winner must be at least as
+  // good as the median member, by construction of min-MSE selection.
+  RandomEngine Rng(5);
+  NwsForecaster F;
+  std::vector<double> Predicted, Actual;
+  double Level = 100.0;
+  for (int I = 0; I < 500; ++I) {
+    Level += Rng.normal(0.0, 1.0);
+    double X = Level + Rng.normal(0.0, 5.0);
+    if (I > 10) {
+      Predicted.push_back(F.predict());
+      Actual.push_back(X);
+    }
+    F.observe(X);
+  }
+  double AdaptiveMse = stats::meanSquaredError(Predicted, Actual);
+  double WorstMemberMse = 0.0;
+  for (size_t I = 0; I < F.memberCount(); ++I)
+    WorstMemberMse = std::max(WorstMemberMse, F.memberMse(I));
+  EXPECT_LT(AdaptiveMse, WorstMemberMse);
+}
+
+TEST(NwsForecaster, BestMemberNameIsFromBattery) {
+  NwsForecaster F;
+  RandomEngine Rng(6);
+  for (int I = 0; I < 100; ++I)
+    F.observe(Rng.uniform(0, 10));
+  std::string Best = F.bestMemberName();
+  bool Found = false;
+  for (size_t I = 0; I < F.memberCount(); ++I)
+    Found |= (F.memberMse(I) >= 0.0);
+  EXPECT_TRUE(Found);
+  EXPECT_FALSE(Best.empty());
+  EXPECT_EQ(F.observationCount(), 100u);
+}
+
+//===----------------------------------------------------------------------===//
+// Sensor + registry
+//===----------------------------------------------------------------------===//
+
+TEST(Sensor, SamplesPeriodically) {
+  Simulator Sim(1);
+  double Value = 5.0;
+  Sensor S(Sim, "test", 2.0, [&] { return Value; });
+  Sim.runUntil(7.0); // Ticks at 0, 2, 4, 6.
+  EXPECT_EQ(S.history().size(), 4u);
+  EXPECT_DOUBLE_EQ(S.lastValue(), 5.0);
+  EXPECT_DOUBLE_EQ(S.lastSampleTime(), 6.0);
+}
+
+TEST(Sensor, ForecastFollowsMeasurements) {
+  Simulator Sim(2);
+  double Value = 10.0;
+  Sensor S(Sim, "test", 1.0, [&] { return Value; });
+  Sim.runUntil(50.0);
+  EXPECT_NEAR(S.forecast(), 10.0, 1e-9);
+}
+
+TEST(Sensor, HistoryCapacityBounds) {
+  Simulator Sim(3);
+  Sensor S(Sim, "test", 1.0, [] { return 1.0; }, 8);
+  Sim.runUntil(100.0);
+  EXPECT_EQ(S.history().size(), 8u);
+}
+
+TEST(NwsRegistry, RegisterLookupAndKinds) {
+  Simulator Sim(4);
+  Sensor A(Sim, "cpu/h1", 1.0, [] { return 0.5; });
+  Sensor B(Sim, "io/h1", 1.0, [] { return 0.9; });
+  Sensor C(Sim, "cpu/h2", 1.0, [] { return 0.7; });
+  NwsNameserver NS;
+  NS.registerSensor(A, "cpu", "h1");
+  NS.registerSensor(B, "io", "h1");
+  NS.registerSensor(C, "cpu", "h2");
+  EXPECT_EQ(NS.size(), 3u);
+  ASSERT_NE(NS.lookup("cpu/h1"), nullptr);
+  EXPECT_EQ(NS.lookup("cpu/h1")->Kind, "cpu");
+  EXPECT_EQ(NS.lookup("nope"), nullptr);
+  EXPECT_EQ(NS.byKind("cpu").size(), 2u);
+  EXPECT_EQ(NS.byKind("bandwidth").size(), 0u);
+}
+
+TEST(NwsMemory, ResolvesSeries) {
+  Simulator Sim(5);
+  Sensor A(Sim, "cpu/h1", 1.0, [] { return 0.5; });
+  NwsNameserver NS;
+  NS.registerSensor(A, "cpu", "h1");
+  NwsMemory Mem(NS);
+  EXPECT_EQ(Mem.series("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(Mem.latestValue("cpu/h1", -1.0), -1.0); // No samples yet.
+  Sim.runUntil(3.0);
+  EXPECT_DOUBLE_EQ(Mem.latestValue("cpu/h1"), 0.5);
+  ASSERT_NE(Mem.series("cpu/h1"), nullptr);
+  EXPECT_GT(Mem.series("cpu/h1")->size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// InformationService
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct InfoFixture : ::testing::Test {
+  Simulator Sim{11};
+  Topology Topo;
+  NodeId Client, Server;
+  std::unique_ptr<Routing> Router;
+  TcpModel Tcp;
+  std::unique_ptr<FlowNetwork> Net;
+  std::unique_ptr<Host> ServerHost;
+  std::unique_ptr<InformationService> Info;
+
+  void SetUp() override {
+    Client = Topo.addNode("client");
+    Server = Topo.addNode("server");
+    Topo.addLink(Client, Server, mbps(100), milliseconds(5), 0.0001);
+    Router = std::make_unique<Routing>(Topo);
+    Net = std::make_unique<FlowNetwork>(Sim, Topo, *Router, Tcp);
+
+    HostConfig HC;
+    HC.Name = "server";
+    HC.Cpu.MeanLoad = 0.2;
+    HC.Cpu.Volatility = 0.0;
+    HC.DiskCfg.Background.MeanLoad = 0.3;
+    HC.DiskCfg.Background.Volatility = 0.0;
+    ServerHost = std::make_unique<Host>(Sim, HC, Server);
+    Info = std::make_unique<InformationService>(Sim, *Net);
+    Info->registerHost(*ServerHost);
+  }
+};
+
+} // namespace
+
+TEST_F(InfoFixture, QueryReportsAllThreeFactors) {
+  Sim.runUntil(30.0);
+  SystemFactors F = Info->query(Client, *ServerHost);
+  EXPECT_NEAR(F.CpuIdle, 0.8, 0.01);
+  EXPECT_NEAR(F.IoIdle, 0.7, 0.01);
+  EXPECT_GT(F.BwFraction, 0.0);
+  EXPECT_LE(F.BwFraction, 1.0);
+  EXPECT_DOUBLE_EQ(F.TheoreticalBandwidth, mbps(100));
+  EXPECT_GT(F.PredictedBandwidth, 0.0);
+}
+
+TEST_F(InfoFixture, BwFractionDropsUnderContention) {
+  SystemFactors Quiet = Info->query(Client, *ServerHost);
+  // Saturate the server->client direction with background flows.
+  FlowOptions Opt;
+  Opt.Streams = 16;
+  Net->startFlow(Server, Client, gigabytes(100), Opt, nullptr);
+  Sim.runUntil(60.0); // Let the sensors observe the congestion.
+  SystemFactors Busy = Info->query(Client, *ServerHost);
+  EXPECT_LT(Busy.BwFraction, Quiet.BwFraction);
+}
+
+TEST_F(InfoFixture, LocalCandidateGetsFullBwFraction) {
+  HostConfig HC;
+  HC.Name = "client-local";
+  HC.Cpu.Volatility = 0.0;
+  HC.DiskCfg.Background.Volatility = 0.0;
+  Host LocalHost(Sim, HC, Client);
+  Info->registerHost(LocalHost);
+  SystemFactors F = Info->query(Client, LocalHost);
+  EXPECT_DOUBLE_EQ(F.BwFraction, 1.0);
+}
+
+TEST_F(InfoFixture, PerPathNormalizationInflatesSlowLinks) {
+  // A second candidate behind a slow-but-saturable link.  Under the
+  // literal per-path reading its BwFraction can exceed the fast path's;
+  // under the default client-access reading it cannot.
+  NodeId SlowNode = Topo.addNode("slow-server");
+  NodeId FastNode = Topo.addNode("fast-server");
+  Topo.addLink(Client, SlowNode, mbps(10), milliseconds(5));
+  // Gigabit path a 4-stream 64 KiB-window probe cannot fill at this RTT.
+  Topo.addLink(Client, FastNode, gbps(1), milliseconds(5));
+  Routing Router2(Topo);
+  FlowNetwork Net2(Sim, Topo, Router2, Tcp);
+  HostConfig HC;
+  HC.Name = "slow-server";
+  HC.Cpu.Volatility = 0.0;
+  HC.DiskCfg.Background.Volatility = 0.0;
+  Host SlowHost(Sim, HC, SlowNode);
+  HostConfig HC2 = HC;
+  HC2.Name = "fast-server";
+  Host FastHost(Sim, HC2, FastNode);
+
+  InformationServiceConfig PerPath;
+  PerPath.Normalization = BwNormalization::PerPath;
+  InformationService InfoPerPath(Sim, Net2, PerPath);
+  InformationService InfoClient(Sim, Net2); // ClientAccess default.
+  for (InformationService *I : {&InfoPerPath, &InfoClient}) {
+    I->registerHost(SlowHost);
+    I->registerHost(FastHost);
+  }
+  SystemFactors PpSlow = InfoPerPath.query(Client, SlowHost);
+  SystemFactors PpFast = InfoPerPath.query(Client, FastHost);
+  SystemFactors CaSlow = InfoClient.query(Client, SlowHost);
+  SystemFactors CaFast = InfoClient.query(Client, FastHost);
+  // Per-path: the 10 Mb/s link saturates, the 100 Mb/s one does not.
+  EXPECT_GT(PpSlow.BwFraction, PpFast.BwFraction);
+  // Client-access: fractions are monotone in deliverable bandwidth.
+  EXPECT_LT(CaSlow.BwFraction, CaFast.BwFraction);
+  EXPECT_GT(CaFast.PredictedBandwidth, CaSlow.PredictedBandwidth);
+}
+
+TEST_F(InfoFixture, SensorsHaveStaleness) {
+  // Between samples, readings do not change even if the world does.
+  Sim.runUntil(11.0);
+  const Sensor *Bw = Info->bandwidthSensor(Client, Server);
+  // Create the sensor if the query hasn't run yet.
+  Info->query(Client, *ServerHost);
+  Bw = Info->bandwidthSensor(Client, Server);
+  ASSERT_NE(Bw, nullptr);
+  double T = Bw->lastSampleTime();
+  EXPECT_LE(T, Sim.now());
+  EXPECT_GE(T, Sim.now() - 10.0 - 1e-9); // Period is 10 s.
+}
+
+TEST_F(InfoFixture, NameserverSeesAllSensors) {
+  Info->query(Client, *ServerHost);
+  EXPECT_EQ(Info->nameserver().byKind("cpu").size(), 1u);
+  EXPECT_EQ(Info->nameserver().byKind("io").size(), 1u);
+  EXPECT_EQ(Info->nameserver().byKind("memory").size(), 1u);
+  EXPECT_EQ(Info->nameserver().byKind("bandwidth").size(), 1u);
+  EXPECT_EQ(Info->nameserver().byKind("latency").size(), 1u);
+}
+
+TEST_F(InfoFixture, MemorySensorReportsFreeFraction) {
+  Sim.runUntil(20.0);
+  SystemFactors F = Info->query(Client, *ServerHost);
+  // Default memory process hovers at 0.3 used -> 0.7 free (volatility is
+  // the host default here, so allow slack).
+  EXPECT_GT(F.MemFreeFraction, 0.3);
+  EXPECT_LE(F.MemFreeFraction, 1.0);
+  EXPECT_NEAR(Info->memFree(*ServerHost), F.MemFreeFraction, 1e-12);
+}
+
+TEST_F(InfoFixture, LatencySensorTracksRttAndCongestion) {
+  SystemFactors Quiet = Info->query(Client, *ServerHost);
+  // Quiet path: forecast equals the base RTT (2 * 5 ms).
+  EXPECT_NEAR(Quiet.PredictedLatency, 0.010, 1e-6);
+
+  // Saturate the path; after sensor refreshes the latency inflates.
+  FlowOptions Opt;
+  Opt.Streams = 16;
+  Net->startFlow(Server, Client, gigabytes(100), Opt, nullptr);
+  Sim.runUntil(60.0);
+  SystemFactors Busy = Info->query(Client, *ServerHost);
+  EXPECT_GT(Busy.PredictedLatency, Quiet.PredictedLatency * 1.3);
+}
+
+TEST(SysstatFree, MemorySnapshotConsistency) {
+  Simulator Sim(31);
+  HostConfig HC;
+  HC.Name = "h";
+  HC.MemoryBytes = 512.0 * 1024 * 1024;
+  HC.Memory.MeanLoad = 0.25;
+  HC.Memory.Volatility = 0.0;
+  HC.Cpu.Volatility = 0.0;
+  HC.DiskCfg.Background.Volatility = 0.0;
+  Host H(Sim, HC, 0);
+  FreeReport R = sysstat::collectFree(H);
+  EXPECT_NEAR(R.UsedBytes + R.FreeBytes, R.TotalBytes, 1.0);
+  EXPECT_NEAR(R.FreeBytes, 0.75 * 512.0 * 1024 * 1024, 1e3);
+  EXPECT_NE(sysstat::formatFree(H).find("free"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Sysstat
+//===----------------------------------------------------------------------===//
+
+TEST(Sysstat, SarPartitionsCpuTime) {
+  Simulator Sim(21);
+  HostConfig HC;
+  HC.Name = "h";
+  HC.Cpu.MeanLoad = 0.4;
+  HC.Cpu.Volatility = 0.0;
+  HC.DiskCfg.Background.Volatility = 0.0;
+  Host H(Sim, HC, 0);
+  SarCpuReport R = sysstat::collectSar(H);
+  EXPECT_NEAR(R.User + R.System + R.Idle, 1.0, 1e-9);
+  EXPECT_NEAR(R.Idle, 0.6, 1e-9);
+  EXPECT_GT(R.User, R.System); // User-dominated busy time.
+}
+
+TEST(Sysstat, IostatConsistency) {
+  Simulator Sim(22);
+  HostConfig HC;
+  HC.Name = "h";
+  HC.Cpu.Volatility = 0.0;
+  HC.DiskCfg.Background.MeanLoad = 0.25;
+  HC.DiskCfg.Background.Volatility = 0.0;
+  Host H(Sim, HC, 0);
+  IostatReport R = sysstat::collectIostat(H);
+  EXPECT_NEAR(R.Utilization + R.IdleFraction, 1.0, 1e-9);
+  EXPECT_NEAR(R.Utilization, 0.25, 1e-9);
+  EXPECT_GT(R.Tps, 0.0);
+  EXPECT_NEAR(R.ReadBytesPerSec, H.disk().config().ReadRate / 8.0 * 0.25,
+              1.0);
+}
+
+TEST(Sysstat, FormattersMentionHostName) {
+  Simulator Sim(23);
+  HostConfig HC;
+  HC.Name = "gridhit3";
+  HC.Cpu.Volatility = 0.0;
+  HC.DiskCfg.Background.Volatility = 0.0;
+  Host H(Sim, HC, 0);
+  EXPECT_NE(sysstat::formatIostat(H).find("gridhit3"), std::string::npos);
+  EXPECT_NE(sysstat::formatSar(H).find("gridhit3"), std::string::npos);
+  EXPECT_NE(sysstat::formatSar(H).find("%idle"), std::string::npos);
+}

@@ -1,0 +1,376 @@
+//===- tests/ReplicaTest.cpp - Unit tests for the replica layer -----------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "replica/CostModel.h"
+#include "replica/ReplicaCatalog.h"
+#include "replica/ReplicaManager.h"
+#include "replica/ReplicaSelector.h"
+#include "replica/SelectionPolicy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace dgsim;
+using namespace dgsim::units;
+
+//===----------------------------------------------------------------------===//
+// CostModel
+//===----------------------------------------------------------------------===//
+
+TEST(CostModel, PaperWeightsAndLinearity) {
+  CostModel M; // 0.8 / 0.1 / 0.1
+  SystemFactors F;
+  F.BwFraction = 1.0;
+  F.CpuIdle = 1.0;
+  F.IoIdle = 1.0;
+  EXPECT_DOUBLE_EQ(M.score(F), 1.0);
+  F.BwFraction = 0.5;
+  EXPECT_DOUBLE_EQ(M.score(F), 0.6);
+  F.CpuIdle = 0.0;
+  F.IoIdle = 0.0;
+  EXPECT_DOUBLE_EQ(M.score(F), 0.4);
+}
+
+TEST(CostModel, BandwidthDominatesWithPaperWeights) {
+  CostModel M;
+  SystemFactors GoodBw; // Fast path, busy host.
+  GoodBw.BwFraction = 0.9;
+  GoodBw.CpuIdle = 0.1;
+  GoodBw.IoIdle = 0.1;
+  SystemFactors GoodHost; // Slow path, idle host.
+  GoodHost.BwFraction = 0.2;
+  GoodHost.CpuIdle = 1.0;
+  GoodHost.IoIdle = 1.0;
+  EXPECT_GT(M.score(GoodBw), M.score(GoodHost));
+}
+
+TEST(CostModel, CustomWeightsFlipThePreference) {
+  CostModel M(CostWeights{0.1, 0.45, 0.45});
+  SystemFactors GoodBw;
+  GoodBw.BwFraction = 0.9;
+  GoodBw.CpuIdle = 0.1;
+  GoodBw.IoIdle = 0.1;
+  SystemFactors GoodHost;
+  GoodHost.BwFraction = 0.2;
+  GoodHost.CpuIdle = 1.0;
+  GoodHost.IoIdle = 1.0;
+  EXPECT_LT(M.score(GoodBw), M.score(GoodHost));
+}
+
+TEST(CostModel, ExtendedFactorsDefaultOff) {
+  CostModel M; // Latency/Memory weights are zero.
+  SystemFactors F;
+  F.BwFraction = 0.5;
+  F.CpuIdle = 0.5;
+  F.IoIdle = 0.5;
+  F.PredictedLatency = 10.0; // Irrelevant unless weighted.
+  F.MemFreeFraction = 0.0;
+  EXPECT_DOUBLE_EQ(M.score(F), 0.5);
+}
+
+TEST(CostModel, LatencyFactorPrefersShortPaths) {
+  CostWeights W;
+  W.Bandwidth = 0.5;
+  W.Cpu = 0.0;
+  W.Io = 0.0;
+  W.Latency = 0.5;
+  CostModel M(W);
+  SystemFactors Near, Far;
+  Near.BwFraction = Far.BwFraction = 0.5;
+  Near.PredictedLatency = 0.002; // Campus LAN.
+  Far.PredictedLatency = 0.200;  // Intercontinental.
+  EXPECT_GT(M.score(Near), M.score(Far));
+  // The latency factor lives in (0, 1]: scores stay normalised.
+  EXPECT_LE(M.score(Near), W.sum());
+}
+
+TEST(CostModel, MemoryFactorPrefersFreeHosts) {
+  CostWeights W;
+  W.Bandwidth = 0.0;
+  W.Cpu = 0.0;
+  W.Io = 0.5;
+  W.Memory = 0.5;
+  CostModel M(W);
+  SystemFactors A, B;
+  A.IoIdle = B.IoIdle = 0.8;
+  A.MemFreeFraction = 0.9;
+  B.MemFreeFraction = 0.1;
+  EXPECT_GT(M.score(A), M.score(B));
+  EXPECT_DOUBLE_EQ(M.score(A), 0.4 + 0.45);
+}
+
+//===----------------------------------------------------------------------===//
+// ReplicaCatalog
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+HostConfig mkHost(const std::string &Name, double CpuLoad = 0.0,
+                  double IoLoad = 0.0) {
+  HostConfig H;
+  H.Name = Name;
+  H.NicRate = gbps(1);
+  H.Cpu.MeanLoad = CpuLoad;
+  H.Cpu.Volatility = 0.0;
+  H.DiskCfg.ReadRate = mbps(400);
+  H.DiskCfg.WriteRate = mbps(400);
+  H.DiskCfg.Background.MeanLoad = IoLoad;
+  H.DiskCfg.Background.Volatility = 0.0;
+  return H;
+}
+
+} // namespace
+
+TEST(ReplicaCatalog, RegisterLocateRemove) {
+  Simulator Sim(1);
+  Host A(Sim, mkHost("a"), 0), B(Sim, mkHost("b"), 1);
+  ReplicaCatalog Cat;
+  Cat.registerFile("file-a", megabytes(1024));
+  EXPECT_TRUE(Cat.hasFile("file-a"));
+  EXPECT_FALSE(Cat.hasFile("file-b"));
+  EXPECT_DOUBLE_EQ(Cat.fileSize("file-a"), megabytes(1024));
+
+  Cat.addReplica("file-a", A);
+  Cat.addReplica("file-a", B);
+  Cat.addReplica("file-a", A); // Duplicate: ignored.
+  EXPECT_EQ(Cat.locate("file-a").size(), 2u);
+
+  EXPECT_TRUE(Cat.removeReplica("file-a", A));
+  EXPECT_FALSE(Cat.removeReplica("file-a", A));
+  EXPECT_EQ(Cat.locate("file-a").size(), 1u);
+  EXPECT_EQ(Cat.locate("unknown").size(), 0u);
+}
+
+TEST(ReplicaCatalog, ReplicaAtFindsLocalCopy) {
+  Simulator Sim(2);
+  Host A(Sim, mkHost("a"), 7);
+  ReplicaCatalog Cat;
+  Cat.registerFile("f", 1.0e6);
+  Cat.addReplica("f", A);
+  EXPECT_EQ(Cat.replicaAt("f", 7), &A);
+  EXPECT_EQ(Cat.replicaAt("f", 8), nullptr);
+  EXPECT_EQ(Cat.replicaAt("missing", 7), nullptr);
+}
+
+TEST(ReplicaCatalog, ListFilesSorted) {
+  ReplicaCatalog Cat;
+  Cat.registerFile("zeta", 1.0);
+  Cat.registerFile("alpha", 1.0);
+  auto Names = Cat.listFiles();
+  ASSERT_EQ(Names.size(), 2u);
+  EXPECT_EQ(Names[0], "alpha");
+  EXPECT_EQ(Names[1], "zeta");
+}
+
+//===----------------------------------------------------------------------===//
+// Selection policies and the selector, on a small grid
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Client site plus three replica holders behind different-quality paths:
+///   fast  -- 1 Gb/s, 2 ms, clean        (best bandwidth)
+///   mid   -- 100 Mb/s, 10 ms, light loss
+///   slow  -- 30 Mb/s, 20 ms, lossy      (worst bandwidth, idlest host)
+struct ReplicaFixture : ::testing::Test {
+  Simulator Sim{77};
+  Topology Topo;
+  NodeId ClientNode;
+  std::unique_ptr<Routing> Router;
+  TcpModel Tcp;
+  std::unique_ptr<FlowNetwork> Net;
+  std::unique_ptr<Host> ClientHost, Fast, MidH, Slow;
+  std::unique_ptr<InformationService> Info;
+  ReplicaCatalog Cat;
+  std::unique_ptr<TransferManager> Mgr;
+
+  void SetUp() override {
+    ClientNode = Topo.addNode("client");
+    NodeId F = Topo.addNode("fast");
+    NodeId M = Topo.addNode("mid");
+    NodeId S = Topo.addNode("slow");
+    Topo.addLink(ClientNode, F, gbps(1), milliseconds(1));
+    Topo.addLink(ClientNode, M, mbps(100), milliseconds(5), 0.0005);
+    Topo.addLink(ClientNode, S, mbps(30), milliseconds(10), 0.002);
+    Router = std::make_unique<Routing>(Topo);
+    Net = std::make_unique<FlowNetwork>(Sim, Topo, *Router, Tcp);
+
+    // The fast host is moderately busy, the slow host fully idle: the
+    // interesting trade-off for weight experiments.
+    ClientHost = std::make_unique<Host>(Sim, mkHost("client"), ClientNode);
+    Fast = std::make_unique<Host>(Sim, mkHost("fast", 0.5, 0.5), F);
+    MidH = std::make_unique<Host>(Sim, mkHost("mid", 0.2, 0.2), M);
+    Slow = std::make_unique<Host>(Sim, mkHost("slow", 0.0, 0.0), S);
+
+    Info = std::make_unique<InformationService>(Sim, *Net);
+    for (Host *H : {ClientHost.get(), Fast.get(), MidH.get(), Slow.get()})
+      Info->registerHost(*H);
+
+    Cat.registerFile("file-a", megabytes(256));
+    Cat.addReplica("file-a", *Fast);
+    Cat.addReplica("file-a", *MidH);
+    Cat.addReplica("file-a", *Slow);
+
+    Mgr = std::make_unique<TransferManager>(Sim, *Net);
+    Sim.runUntil(30.0); // Warm up the sensors.
+  }
+
+  std::vector<Host *> candidates() { return Cat.locate("file-a"); }
+};
+
+} // namespace
+
+TEST_F(ReplicaFixture, CostModelPolicyPicksFastPath) {
+  CostModelPolicy P; // Paper weights: bandwidth dominates.
+  EXPECT_EQ(P.choose(ClientNode, candidates(), *Info), Fast.get());
+}
+
+TEST_F(ReplicaFixture, CpuHeavyWeightsPickIdlestHost) {
+  CostModelPolicy P(CostWeights{0.0, 0.5, 0.5});
+  EXPECT_EQ(P.choose(ClientNode, candidates(), *Info), Slow.get());
+}
+
+TEST_F(ReplicaFixture, BandwidthOnlyPolicyAgreesWithNws) {
+  BandwidthOnlyPolicy P;
+  EXPECT_EQ(P.choose(ClientNode, candidates(), *Info), Fast.get());
+}
+
+TEST_F(ReplicaFixture, LeastLoadedCpuPolicyIgnoresBandwidth) {
+  LeastLoadedCpuPolicy P;
+  EXPECT_EQ(P.choose(ClientNode, candidates(), *Info), Slow.get());
+}
+
+TEST_F(ReplicaFixture, RoundRobinCycles) {
+  RoundRobinPolicy P;
+  Host *First = P.choose(ClientNode, candidates(), *Info);
+  Host *Second = P.choose(ClientNode, candidates(), *Info);
+  Host *Third = P.choose(ClientNode, candidates(), *Info);
+  Host *Fourth = P.choose(ClientNode, candidates(), *Info);
+  EXPECT_NE(First, Second);
+  EXPECT_NE(Second, Third);
+  EXPECT_EQ(First, Fourth);
+}
+
+TEST_F(ReplicaFixture, RandomPolicyCoversAllCandidates) {
+  RandomPolicy P(Sim.forkRng());
+  bool SawFast = false, SawMid = false, SawSlow = false;
+  for (int I = 0; I < 100; ++I) {
+    Host *H = P.choose(ClientNode, candidates(), *Info);
+    SawFast |= (H == Fast.get());
+    SawMid |= (H == MidH.get());
+    SawSlow |= (H == Slow.get());
+  }
+  EXPECT_TRUE(SawFast && SawMid && SawSlow);
+}
+
+TEST_F(ReplicaFixture, SelectorReportsAllCandidates) {
+  CostModelPolicy P;
+  ReplicaSelector Sel(Cat, *Info, P);
+  SelectionResult R = Sel.select(ClientNode, "file-a");
+  EXPECT_EQ(R.Chosen, Fast.get());
+  EXPECT_FALSE(R.LocalHit);
+  ASSERT_EQ(R.Candidates.size(), 3u);
+  // Scores must be in [0, 1] and the chosen candidate must score highest.
+  double ChosenScore = 0.0, MaxScore = 0.0;
+  for (const CandidateReport &C : R.Candidates) {
+    EXPECT_GE(C.Score, 0.0);
+    EXPECT_LE(C.Score, 1.0);
+    MaxScore = std::max(MaxScore, C.Score);
+    if (C.Candidate == R.Chosen)
+      ChosenScore = C.Score;
+  }
+  EXPECT_DOUBLE_EQ(ChosenScore, MaxScore);
+}
+
+TEST_F(ReplicaFixture, SelectorShortCircuitsLocalReplica) {
+  Cat.addReplica("file-a", *ClientHost);
+  CostModelPolicy P;
+  ReplicaSelector Sel(Cat, *Info, P);
+  SelectionResult R = Sel.select(ClientNode, "file-a");
+  EXPECT_TRUE(R.LocalHit);
+  EXPECT_EQ(R.Chosen, ClientHost.get());
+}
+
+TEST_F(ReplicaFixture, ScoreAllMatchesSelectReports) {
+  CostModelPolicy P;
+  ReplicaSelector Sel(Cat, *Info, P);
+  auto Scores = Sel.scoreAll(ClientNode, "file-a");
+  ASSERT_EQ(Scores.size(), 3u);
+  // Fast path has the highest bandwidth fraction.
+  double FastScore = 0.0, SlowScore = 0.0;
+  for (const CandidateReport &C : Scores) {
+    if (C.Candidate == Fast.get())
+      FastScore = C.Score;
+    if (C.Candidate == Slow.get())
+      SlowScore = C.Score;
+  }
+  EXPECT_GT(FastScore, SlowScore);
+}
+
+//===----------------------------------------------------------------------===//
+// ReplicaManager
+//===----------------------------------------------------------------------===//
+
+TEST_F(ReplicaFixture, PublishRegistersWithoutTransfer) {
+  CostModelPolicy P;
+  ReplicaSelector Sel(Cat, *Info, P);
+  ReplicaManager RM(Cat, Sel, *Mgr);
+  RM.publish("file-b", megabytes(10), *Fast);
+  EXPECT_TRUE(Cat.hasFile("file-b"));
+  EXPECT_EQ(Cat.locate("file-b").size(), 1u);
+  EXPECT_EQ(Mgr->completedTransfers(), 0u);
+}
+
+TEST_F(ReplicaFixture, ReplicateMovesDataAndRegisters) {
+  CostModelPolicy P;
+  ReplicaSelector Sel(Cat, *Info, P);
+  ReplicaManager RM(Cat, Sel, *Mgr);
+  bool Done = false;
+  TransferResult Result;
+  RM.replicate("file-a", *ClientHost, 4,
+               [&](const std::string &Lfn, Host &Where,
+                   const TransferResult &R) {
+                 EXPECT_EQ(Lfn, "file-a");
+                 EXPECT_EQ(&Where, ClientHost.get());
+                 Result = R;
+                 Done = true;
+               });
+  // Not yet registered: the data is still moving.
+  EXPECT_EQ(Cat.locate("file-a").size(), 3u);
+  Sim.run();
+  EXPECT_TRUE(Done);
+  EXPECT_EQ(Cat.locate("file-a").size(), 4u);
+  EXPECT_NE(Cat.replicaAt("file-a", ClientNode), nullptr);
+  EXPECT_GT(Result.totalSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(Result.FileBytes, megabytes(256));
+}
+
+TEST_F(ReplicaFixture, ReplicateToExistingLocationIsNoop) {
+  CostModelPolicy P;
+  ReplicaSelector Sel(Cat, *Info, P);
+  ReplicaManager RM(Cat, Sel, *Mgr);
+  bool Done = false;
+  TransferId Id = RM.replicate("file-a", *Fast, 4,
+                               [&](const std::string &, Host &,
+                                   const TransferResult &R) {
+                                 EXPECT_DOUBLE_EQ(R.FileBytes, 0.0);
+                                 Done = true;
+                               });
+  EXPECT_EQ(Id, InvalidTransferId);
+  EXPECT_TRUE(Done);
+  EXPECT_EQ(Mgr->activeTransfers(), 0u);
+}
+
+TEST_F(ReplicaFixture, RemoveRefusesLastCopy) {
+  CostModelPolicy P;
+  ReplicaSelector Sel(Cat, *Info, P);
+  ReplicaManager RM(Cat, Sel, *Mgr);
+  EXPECT_TRUE(RM.remove("file-a", *Slow));
+  EXPECT_TRUE(RM.remove("file-a", *MidH));
+  EXPECT_FALSE(RM.remove("file-a", *Fast)); // Last copy: refused.
+  EXPECT_EQ(Cat.locate("file-a").size(), 1u);
+}

@@ -1,0 +1,219 @@
+//===- tests/SimulatorTest.cpp - Unit tests for the event kernel ----------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace dgsim;
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator Sim;
+  EXPECT_DOUBLE_EQ(Sim.now(), 0.0);
+  EXPECT_EQ(Sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator Sim;
+  std::vector<int> Order;
+  Sim.schedule(3.0, [&] { Order.push_back(3); });
+  Sim.schedule(1.0, [&] { Order.push_back(1); });
+  Sim.schedule(2.0, [&] { Order.push_back(2); });
+  Sim.run();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(Sim.now(), 3.0);
+  EXPECT_EQ(Sim.eventsExecuted(), 3u);
+}
+
+TEST(Simulator, FifoTieBreakAtEqualTimes) {
+  Simulator Sim;
+  std::vector<int> Order;
+  for (int I = 0; I < 10; ++I)
+    Sim.schedule(1.0, [&Order, I] { Order.push_back(I); });
+  Sim.run();
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator Sim;
+  double FiredAt = -1.0;
+  Sim.schedule(1.0, [&] {
+    Sim.schedule(2.0, [&] { FiredAt = Sim.now(); });
+  });
+  Sim.run();
+  EXPECT_DOUBLE_EQ(FiredAt, 3.0);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator Sim;
+  double FiredAt = -1.0;
+  Sim.scheduleAt(5.5, [&] { FiredAt = Sim.now(); });
+  Sim.run();
+  EXPECT_DOUBLE_EQ(FiredAt, 5.5);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator Sim;
+  bool Fired = false;
+  EventId Id = Sim.schedule(1.0, [&] { Fired = true; });
+  EXPECT_TRUE(Sim.cancel(Id));
+  EXPECT_FALSE(Sim.cancel(Id)); // Second cancel is a no-op.
+  Sim.run();
+  EXPECT_FALSE(Fired);
+  EXPECT_EQ(Sim.eventsExecuted(), 0u);
+}
+
+TEST(Simulator, CancelAfterExecutionIsNoop) {
+  Simulator Sim;
+  EventId Id = Sim.schedule(1.0, [] {});
+  Sim.run();
+  EXPECT_FALSE(Sim.cancel(Id));
+  EXPECT_EQ(Sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, CancelInvalidHandle) {
+  Simulator Sim;
+  EXPECT_FALSE(Sim.cancel(InvalidEventId));
+  EXPECT_FALSE(Sim.cancel(12345));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator Sim;
+  int Fired = 0;
+  Sim.schedule(1.0, [&] { ++Fired; });
+  Sim.schedule(2.0, [&] { ++Fired; });
+  Sim.schedule(3.0, [&] { ++Fired; });
+  Sim.runUntil(2.0);
+  EXPECT_EQ(Fired, 2);
+  EXPECT_DOUBLE_EQ(Sim.now(), 2.0);
+  EXPECT_EQ(Sim.pendingEvents(), 1u);
+  Sim.run();
+  EXPECT_EQ(Fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator Sim;
+  Sim.runUntil(10.0);
+  EXPECT_DOUBLE_EQ(Sim.now(), 10.0);
+}
+
+TEST(Simulator, StopAbortsRun) {
+  Simulator Sim;
+  int Fired = 0;
+  Sim.schedule(1.0, [&] {
+    ++Fired;
+    Sim.stop();
+  });
+  Sim.schedule(2.0, [&] { ++Fired; });
+  Sim.run();
+  EXPECT_EQ(Fired, 1);
+  EXPECT_EQ(Sim.pendingEvents(), 1u);
+}
+
+TEST(Simulator, PeriodicFiresRepeatedly) {
+  Simulator Sim;
+  std::vector<double> Times;
+  Sim.schedulePeriodic(2.0, [&] { Times.push_back(Sim.now()); });
+  Sim.runUntil(7.0);
+  ASSERT_EQ(Times.size(), 4u); // t = 0, 2, 4, 6
+  EXPECT_DOUBLE_EQ(Times[0], 0.0);
+  EXPECT_DOUBLE_EQ(Times[3], 6.0);
+}
+
+TEST(Simulator, PeriodicWithPhase) {
+  Simulator Sim;
+  std::vector<double> Times;
+  Sim.schedulePeriodic(2.0, [&] { Times.push_back(Sim.now()); }, 1.0);
+  Sim.runUntil(6.0);
+  ASSERT_EQ(Times.size(), 3u); // t = 1, 3, 5
+  EXPECT_DOUBLE_EQ(Times[0], 1.0);
+}
+
+TEST(Simulator, CancelPeriodicStopsFiring) {
+  Simulator Sim;
+  int Count = 0;
+  EventId Handle = Sim.schedulePeriodic(1.0, [&] { ++Count; });
+  Sim.schedule(2.5, [&] { Sim.cancelPeriodic(Handle); });
+  Sim.runUntil(10.0);
+  EXPECT_EQ(Count, 3); // t = 0, 1, 2
+}
+
+TEST(Simulator, CancelPeriodicFromOwnCallback) {
+  Simulator Sim;
+  int Count = 0;
+  EventId Handle = InvalidEventId;
+  Handle = Sim.schedulePeriodic(1.0, [&] {
+    if (++Count == 2)
+      Sim.cancelPeriodic(Handle);
+  });
+  Sim.runUntil(10.0);
+  EXPECT_EQ(Count, 2);
+}
+
+TEST(Simulator, RunExitsWhenOnlyDaemonsRemain) {
+  Simulator Sim;
+  int Ticks = 0;
+  Sim.schedulePeriodic(1.0, [&] { ++Ticks; });
+  Sim.run(); // Must return immediately: only daemon events pending.
+  EXPECT_EQ(Ticks, 0);
+  EXPECT_DOUBLE_EQ(Sim.now(), 0.0);
+}
+
+TEST(Simulator, DaemonsFireWhileForegroundWorkExists) {
+  Simulator Sim;
+  std::vector<double> TickTimes;
+  Sim.schedulePeriodic(1.0, [&] { TickTimes.push_back(Sim.now()); });
+  Sim.schedule(3.5, [] {}); // Foreground anchor.
+  Sim.run();
+  // Ticks at 0, 1, 2, 3 fire before the anchor at 3.5; then run() exits.
+  ASSERT_EQ(TickTimes.size(), 4u);
+  EXPECT_DOUBLE_EQ(TickTimes.back(), 3.0);
+  EXPECT_DOUBLE_EQ(Sim.now(), 3.5);
+}
+
+TEST(Simulator, ScheduleDaemonAtAbsoluteTime) {
+  Simulator Sim;
+  std::vector<double> Times;
+  Sim.scheduleDaemonAt(5.0, [&] { Times.push_back(Sim.now()); });
+  Sim.schedule(8.0, [&] { Times.push_back(Sim.now()); });
+  Sim.run();
+  ASSERT_EQ(Times.size(), 2u);
+  EXPECT_DOUBLE_EQ(Times[0], 5.0);
+  EXPECT_DOUBLE_EQ(Times[1], 8.0);
+}
+
+TEST(Simulator, ScheduleDaemonIsCancellable) {
+  Simulator Sim;
+  bool Fired = false;
+  EventId Id = Sim.scheduleDaemon(1.0, [&] { Fired = true; });
+  EXPECT_TRUE(Sim.cancel(Id));
+  Sim.runUntil(5.0);
+  EXPECT_FALSE(Fired);
+}
+
+TEST(Simulator, ForkRngIsDeterministic) {
+  Simulator A(99), B(99);
+  RandomEngine RA = A.forkRng(), RB = B.forkRng();
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(RA.next(), RB.next());
+}
+
+TEST(Simulator, ManyEventsStressOrder) {
+  Simulator Sim;
+  RandomEngine R(7);
+  double LastTime = -1.0;
+  bool Monotone = true;
+  for (int I = 0; I < 5000; ++I)
+    Sim.schedule(R.uniform(0, 1000), [&] {
+      if (Sim.now() < LastTime)
+        Monotone = false;
+      LastTime = Sim.now();
+    });
+  Sim.run();
+  EXPECT_TRUE(Monotone);
+  EXPECT_EQ(Sim.eventsExecuted(), 5000u);
+}
