@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_coallocation.dir/bench_ablation_coallocation.cpp.o"
+  "CMakeFiles/bench_ablation_coallocation.dir/bench_ablation_coallocation.cpp.o.d"
+  "bench_ablation_coallocation"
+  "bench_ablation_coallocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coallocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

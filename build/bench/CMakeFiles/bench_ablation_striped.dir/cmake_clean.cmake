@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_striped.dir/bench_ablation_striped.cpp.o"
+  "CMakeFiles/bench_ablation_striped.dir/bench_ablation_striped.cpp.o.d"
+  "bench_ablation_striped"
+  "bench_ablation_striped.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_striped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_ftp_vs_gridftp.dir/bench_fig3_ftp_vs_gridftp.cpp.o"
+  "CMakeFiles/bench_fig3_ftp_vs_gridftp.dir/bench_fig3_ftp_vs_gridftp.cpp.o.d"
+  "bench_fig3_ftp_vs_gridftp"
+  "bench_fig3_ftp_vs_gridftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_ftp_vs_gridftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cost_program.dir/bench_fig5_cost_program.cpp.o"
+  "CMakeFiles/bench_fig5_cost_program.dir/bench_fig5_cost_program.cpp.o.d"
+  "bench_fig5_cost_program"
+  "bench_fig5_cost_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cost_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bioinformatics_blast.dir/bioinformatics_blast.cpp.o"
+  "CMakeFiles/bioinformatics_blast.dir/bioinformatics_blast.cpp.o.d"
+  "bioinformatics_blast"
+  "bioinformatics_blast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bioinformatics_blast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridftp_url_copy.dir/gridftp_url_copy.cpp.o"
+  "CMakeFiles/gridftp_url_copy.dir/gridftp_url_copy.cpp.o.d"
+  "gridftp_url_copy"
+  "gridftp_url_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridftp_url_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

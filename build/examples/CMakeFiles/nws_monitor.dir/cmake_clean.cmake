@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nws_monitor.dir/nws_monitor.cpp.o"
+  "CMakeFiles/nws_monitor.dir/nws_monitor.cpp.o.d"
+  "nws_monitor"
+  "nws_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nws_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

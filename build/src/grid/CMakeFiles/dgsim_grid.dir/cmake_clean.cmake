@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgsim_grid.dir/Application.cpp.o"
+  "CMakeFiles/dgsim_grid.dir/Application.cpp.o.d"
+  "CMakeFiles/dgsim_grid.dir/DataGrid.cpp.o"
+  "CMakeFiles/dgsim_grid.dir/DataGrid.cpp.o.d"
+  "CMakeFiles/dgsim_grid.dir/DynamicReplicator.cpp.o"
+  "CMakeFiles/dgsim_grid.dir/DynamicReplicator.cpp.o.d"
+  "CMakeFiles/dgsim_grid.dir/Experiment.cpp.o"
+  "CMakeFiles/dgsim_grid.dir/Experiment.cpp.o.d"
+  "CMakeFiles/dgsim_grid.dir/Testbed.cpp.o"
+  "CMakeFiles/dgsim_grid.dir/Testbed.cpp.o.d"
+  "libdgsim_grid.a"
+  "libdgsim_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgsim_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gridftp/Protocol.cpp" "src/gridftp/CMakeFiles/dgsim_gridftp.dir/Protocol.cpp.o" "gcc" "src/gridftp/CMakeFiles/dgsim_gridftp.dir/Protocol.cpp.o.d"
+  "/root/repo/src/gridftp/TransferManager.cpp" "src/gridftp/CMakeFiles/dgsim_gridftp.dir/TransferManager.cpp.o" "gcc" "src/gridftp/CMakeFiles/dgsim_gridftp.dir/TransferManager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dgsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/dgsim_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dgsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dgsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgsim_gridftp.dir/Protocol.cpp.o"
+  "CMakeFiles/dgsim_gridftp.dir/Protocol.cpp.o.d"
+  "CMakeFiles/dgsim_gridftp.dir/TransferManager.cpp.o"
+  "CMakeFiles/dgsim_gridftp.dir/TransferManager.cpp.o.d"
+  "libdgsim_gridftp.a"
+  "libdgsim_gridftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgsim_gridftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

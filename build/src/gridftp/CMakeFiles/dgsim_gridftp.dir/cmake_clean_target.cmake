@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdgsim_gridftp.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/CpuLoadModel.cpp" "src/host/CMakeFiles/dgsim_host.dir/CpuLoadModel.cpp.o" "gcc" "src/host/CMakeFiles/dgsim_host.dir/CpuLoadModel.cpp.o.d"
+  "/root/repo/src/host/Disk.cpp" "src/host/CMakeFiles/dgsim_host.dir/Disk.cpp.o" "gcc" "src/host/CMakeFiles/dgsim_host.dir/Disk.cpp.o.d"
+  "/root/repo/src/host/Host.cpp" "src/host/CMakeFiles/dgsim_host.dir/Host.cpp.o" "gcc" "src/host/CMakeFiles/dgsim_host.dir/Host.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dgsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dgsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

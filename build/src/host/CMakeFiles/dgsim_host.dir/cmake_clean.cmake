@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgsim_host.dir/CpuLoadModel.cpp.o"
+  "CMakeFiles/dgsim_host.dir/CpuLoadModel.cpp.o.d"
+  "CMakeFiles/dgsim_host.dir/Disk.cpp.o"
+  "CMakeFiles/dgsim_host.dir/Disk.cpp.o.d"
+  "CMakeFiles/dgsim_host.dir/Host.cpp.o"
+  "CMakeFiles/dgsim_host.dir/Host.cpp.o.d"
+  "libdgsim_host.a"
+  "libdgsim_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgsim_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

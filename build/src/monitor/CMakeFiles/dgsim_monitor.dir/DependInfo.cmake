@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/Forecaster.cpp" "src/monitor/CMakeFiles/dgsim_monitor.dir/Forecaster.cpp.o" "gcc" "src/monitor/CMakeFiles/dgsim_monitor.dir/Forecaster.cpp.o.d"
+  "/root/repo/src/monitor/InformationService.cpp" "src/monitor/CMakeFiles/dgsim_monitor.dir/InformationService.cpp.o" "gcc" "src/monitor/CMakeFiles/dgsim_monitor.dir/InformationService.cpp.o.d"
+  "/root/repo/src/monitor/NwsRegistry.cpp" "src/monitor/CMakeFiles/dgsim_monitor.dir/NwsRegistry.cpp.o" "gcc" "src/monitor/CMakeFiles/dgsim_monitor.dir/NwsRegistry.cpp.o.d"
+  "/root/repo/src/monitor/Sensor.cpp" "src/monitor/CMakeFiles/dgsim_monitor.dir/Sensor.cpp.o" "gcc" "src/monitor/CMakeFiles/dgsim_monitor.dir/Sensor.cpp.o.d"
+  "/root/repo/src/monitor/Sysstat.cpp" "src/monitor/CMakeFiles/dgsim_monitor.dir/Sysstat.cpp.o" "gcc" "src/monitor/CMakeFiles/dgsim_monitor.dir/Sysstat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dgsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/dgsim_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dgsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dgsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgsim_monitor.dir/Forecaster.cpp.o"
+  "CMakeFiles/dgsim_monitor.dir/Forecaster.cpp.o.d"
+  "CMakeFiles/dgsim_monitor.dir/InformationService.cpp.o"
+  "CMakeFiles/dgsim_monitor.dir/InformationService.cpp.o.d"
+  "CMakeFiles/dgsim_monitor.dir/NwsRegistry.cpp.o"
+  "CMakeFiles/dgsim_monitor.dir/NwsRegistry.cpp.o.d"
+  "CMakeFiles/dgsim_monitor.dir/Sensor.cpp.o"
+  "CMakeFiles/dgsim_monitor.dir/Sensor.cpp.o.d"
+  "CMakeFiles/dgsim_monitor.dir/Sysstat.cpp.o"
+  "CMakeFiles/dgsim_monitor.dir/Sysstat.cpp.o.d"
+  "libdgsim_monitor.a"
+  "libdgsim_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgsim_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/CrossTraffic.cpp" "src/net/CMakeFiles/dgsim_net.dir/CrossTraffic.cpp.o" "gcc" "src/net/CMakeFiles/dgsim_net.dir/CrossTraffic.cpp.o.d"
+  "/root/repo/src/net/FairShare.cpp" "src/net/CMakeFiles/dgsim_net.dir/FairShare.cpp.o" "gcc" "src/net/CMakeFiles/dgsim_net.dir/FairShare.cpp.o.d"
+  "/root/repo/src/net/FlowNetwork.cpp" "src/net/CMakeFiles/dgsim_net.dir/FlowNetwork.cpp.o" "gcc" "src/net/CMakeFiles/dgsim_net.dir/FlowNetwork.cpp.o.d"
+  "/root/repo/src/net/Routing.cpp" "src/net/CMakeFiles/dgsim_net.dir/Routing.cpp.o" "gcc" "src/net/CMakeFiles/dgsim_net.dir/Routing.cpp.o.d"
+  "/root/repo/src/net/TcpModel.cpp" "src/net/CMakeFiles/dgsim_net.dir/TcpModel.cpp.o" "gcc" "src/net/CMakeFiles/dgsim_net.dir/TcpModel.cpp.o.d"
+  "/root/repo/src/net/Topology.cpp" "src/net/CMakeFiles/dgsim_net.dir/Topology.cpp.o" "gcc" "src/net/CMakeFiles/dgsim_net.dir/Topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dgsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dgsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

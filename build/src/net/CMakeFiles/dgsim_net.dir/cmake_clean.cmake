@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgsim_net.dir/CrossTraffic.cpp.o"
+  "CMakeFiles/dgsim_net.dir/CrossTraffic.cpp.o.d"
+  "CMakeFiles/dgsim_net.dir/FairShare.cpp.o"
+  "CMakeFiles/dgsim_net.dir/FairShare.cpp.o.d"
+  "CMakeFiles/dgsim_net.dir/FlowNetwork.cpp.o"
+  "CMakeFiles/dgsim_net.dir/FlowNetwork.cpp.o.d"
+  "CMakeFiles/dgsim_net.dir/Routing.cpp.o"
+  "CMakeFiles/dgsim_net.dir/Routing.cpp.o.d"
+  "CMakeFiles/dgsim_net.dir/TcpModel.cpp.o"
+  "CMakeFiles/dgsim_net.dir/TcpModel.cpp.o.d"
+  "CMakeFiles/dgsim_net.dir/Topology.cpp.o"
+  "CMakeFiles/dgsim_net.dir/Topology.cpp.o.d"
+  "libdgsim_net.a"
+  "libdgsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

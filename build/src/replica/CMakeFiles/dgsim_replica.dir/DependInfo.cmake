@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replica/CoAllocator.cpp" "src/replica/CMakeFiles/dgsim_replica.dir/CoAllocator.cpp.o" "gcc" "src/replica/CMakeFiles/dgsim_replica.dir/CoAllocator.cpp.o.d"
+  "/root/repo/src/replica/CostModel.cpp" "src/replica/CMakeFiles/dgsim_replica.dir/CostModel.cpp.o" "gcc" "src/replica/CMakeFiles/dgsim_replica.dir/CostModel.cpp.o.d"
+  "/root/repo/src/replica/ReplicaCatalog.cpp" "src/replica/CMakeFiles/dgsim_replica.dir/ReplicaCatalog.cpp.o" "gcc" "src/replica/CMakeFiles/dgsim_replica.dir/ReplicaCatalog.cpp.o.d"
+  "/root/repo/src/replica/ReplicaManager.cpp" "src/replica/CMakeFiles/dgsim_replica.dir/ReplicaManager.cpp.o" "gcc" "src/replica/CMakeFiles/dgsim_replica.dir/ReplicaManager.cpp.o.d"
+  "/root/repo/src/replica/ReplicaSelector.cpp" "src/replica/CMakeFiles/dgsim_replica.dir/ReplicaSelector.cpp.o" "gcc" "src/replica/CMakeFiles/dgsim_replica.dir/ReplicaSelector.cpp.o.d"
+  "/root/repo/src/replica/SelectionPolicy.cpp" "src/replica/CMakeFiles/dgsim_replica.dir/SelectionPolicy.cpp.o" "gcc" "src/replica/CMakeFiles/dgsim_replica.dir/SelectionPolicy.cpp.o.d"
+  "/root/repo/src/replica/StorageElement.cpp" "src/replica/CMakeFiles/dgsim_replica.dir/StorageElement.cpp.o" "gcc" "src/replica/CMakeFiles/dgsim_replica.dir/StorageElement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gridftp/CMakeFiles/dgsim_gridftp.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/dgsim_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dgsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/dgsim_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dgsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dgsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgsim_replica.dir/CoAllocator.cpp.o"
+  "CMakeFiles/dgsim_replica.dir/CoAllocator.cpp.o.d"
+  "CMakeFiles/dgsim_replica.dir/CostModel.cpp.o"
+  "CMakeFiles/dgsim_replica.dir/CostModel.cpp.o.d"
+  "CMakeFiles/dgsim_replica.dir/ReplicaCatalog.cpp.o"
+  "CMakeFiles/dgsim_replica.dir/ReplicaCatalog.cpp.o.d"
+  "CMakeFiles/dgsim_replica.dir/ReplicaManager.cpp.o"
+  "CMakeFiles/dgsim_replica.dir/ReplicaManager.cpp.o.d"
+  "CMakeFiles/dgsim_replica.dir/ReplicaSelector.cpp.o"
+  "CMakeFiles/dgsim_replica.dir/ReplicaSelector.cpp.o.d"
+  "CMakeFiles/dgsim_replica.dir/SelectionPolicy.cpp.o"
+  "CMakeFiles/dgsim_replica.dir/SelectionPolicy.cpp.o.d"
+  "CMakeFiles/dgsim_replica.dir/StorageElement.cpp.o"
+  "CMakeFiles/dgsim_replica.dir/StorageElement.cpp.o.d"
+  "libdgsim_replica.a"
+  "libdgsim_replica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgsim_replica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgsim_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/dgsim_sim.dir/Simulator.cpp.o.d"
+  "libdgsim_sim.a"
+  "libdgsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

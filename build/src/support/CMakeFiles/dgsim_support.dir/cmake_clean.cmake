@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgsim_support.dir/Random.cpp.o"
+  "CMakeFiles/dgsim_support.dir/Random.cpp.o.d"
+  "CMakeFiles/dgsim_support.dir/Statistics.cpp.o"
+  "CMakeFiles/dgsim_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/dgsim_support.dir/Table.cpp.o"
+  "CMakeFiles/dgsim_support.dir/Table.cpp.o.d"
+  "CMakeFiles/dgsim_support.dir/TimeSeries.cpp.o"
+  "CMakeFiles/dgsim_support.dir/TimeSeries.cpp.o.d"
+  "CMakeFiles/dgsim_support.dir/Trace.cpp.o"
+  "CMakeFiles/dgsim_support.dir/Trace.cpp.o.d"
+  "libdgsim_support.a"
+  "libdgsim_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgsim_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

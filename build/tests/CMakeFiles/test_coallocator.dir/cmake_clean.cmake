@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coallocator.dir/CoAllocatorTest.cpp.o"
+  "CMakeFiles/test_coallocator.dir/CoAllocatorTest.cpp.o.d"
+  "test_coallocator"
+  "test_coallocator.pdb"
+  "test_coallocator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coallocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_replicator.dir/DynamicReplicatorTest.cpp.o"
+  "CMakeFiles/test_dynamic_replicator.dir/DynamicReplicatorTest.cpp.o.d"
+  "test_dynamic_replicator"
+  "test_dynamic_replicator.pdb"
+  "test_dynamic_replicator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_replicator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

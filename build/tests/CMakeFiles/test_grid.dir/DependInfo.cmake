@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/GridTest.cpp" "tests/CMakeFiles/test_grid.dir/GridTest.cpp.o" "gcc" "tests/CMakeFiles/test_grid.dir/GridTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/dgsim_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/replica/CMakeFiles/dgsim_replica.dir/DependInfo.cmake"
+  "/root/repo/build/src/gridftp/CMakeFiles/dgsim_gridftp.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/dgsim_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/dgsim_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dgsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dgsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dgsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
