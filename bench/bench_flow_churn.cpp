@@ -1,0 +1,195 @@
+//===- bench/bench_flow_churn.cpp -----------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Macro run: network-substrate flow churn at production scale.
+///
+/// Keeps 1k / 10k concurrent flows alive while starting, cancelling and
+/// re-capping flows under a running clock, on two topologies:
+///
+///   * isolated-pairs — many independent bottlenecks, the geometry
+///     incremental rebalancing exploits (events re-solve one small
+///     component, not the world);
+///   * shared-core — a star where saturated access channels chain most
+///     flows into one component, the adversarial case where only the
+///     event-driven solver (not incrementality) can help.
+///
+/// Reports end-to-end churn throughput, the mean re-solved component size,
+/// and the final divergence from a full from-scratch solve, which must stay
+/// within the 1e-9 check-mode tolerance.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "net/FlowNetwork.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+using namespace dgsim;
+using namespace dgsim::units;
+
+namespace {
+
+struct ChurnResult {
+  double StepsPerSec = 0.0;
+  double MeanComponent = 0.0;
+  double MaxError = 0.0;
+};
+
+/// Builds the topology, ramps up to \p NumFlows concurrent flows, then runs
+/// \p Steps churn operations with the clock advancing so completions and
+/// stale heap entries are exercised too.
+ChurnResult runChurn(size_t NumFlows, bool SharedCore, size_t Steps,
+                     uint64_t Seed) {
+  Simulator Sim(Seed);
+  Topology Topo;
+  constexpr size_t NumSites = 128;
+  std::vector<NodeId> Src(NumSites), Dst(NumSites);
+  if (SharedCore) {
+    NodeId Core = Topo.addNode("core");
+    for (size_t I = 0; I < NumSites; ++I) {
+      Src[I] = Topo.addNode("site" + std::to_string(I));
+      Topo.addLink(Src[I], Core, gbps(1), 0.002);
+      Dst[I] = Src[I]; // Flows run site -> site through the core.
+    }
+  } else {
+    for (size_t I = 0; I < NumSites; ++I) {
+      Src[I] = Topo.addNode("src" + std::to_string(I));
+      Dst[I] = Topo.addNode("dst" + std::to_string(I));
+      Topo.addLink(Src[I], Dst[I], gbps(1), 0.002);
+    }
+  }
+  Routing Router(Topo);
+  TcpModel Tcp;
+  FlowNetwork Net(Sim, Topo, Router, Tcp);
+
+  RandomEngine Rng(Seed * 48271 + NumFlows);
+  auto pickPair = [&](NodeId &S, NodeId &D) {
+    size_t A = size_t(Rng.uniform() * NumSites) % NumSites;
+    if (SharedCore) {
+      size_t B = (A + 1 + size_t(Rng.uniform() * (NumSites - 1))) % NumSites;
+      S = Src[A];
+      D = Src[B];
+    } else {
+      S = Src[A];
+      D = Dst[A];
+    }
+  };
+  auto start = [&] {
+    NodeId S, D;
+    pickPair(S, D);
+    FlowOptions Options;
+    Options.Streams = 1 + unsigned(Rng.uniform() * 4.0);
+    Options.EndpointCap = Rng.uniform(mbps(1), mbps(50));
+    Options.Background = true;
+    // Large enough that churn, not completion, dominates; finite so the
+    // completion machinery still fires under the advancing clock.
+    return Net.startFlow(S, D, gigabytes(Rng.uniform(1.0, 64.0)), Options,
+                         nullptr);
+  };
+
+  std::vector<FlowId> LiveIds;
+  LiveIds.reserve(NumFlows);
+  for (size_t I = 0; I < NumFlows; ++I)
+    LiveIds.push_back(start());
+
+  uint64_t Events0 = Net.rebalanceEvents();
+  uint64_t Demands0 = Net.rebalanceDemandsSolved();
+  auto Wall0 = std::chrono::steady_clock::now();
+  for (size_t I = 0; I < Steps; ++I) {
+    // Drop flows that completed while the clock advanced.
+    while (!LiveIds.empty() && Net.remainingBytes(LiveIds.back()) == 0.0)
+      LiveIds.pop_back();
+    double Op = Rng.uniform();
+    if (Op < 0.40 && !LiveIds.empty()) {
+      size_t Pick = size_t(Rng.uniform() * LiveIds.size()) % LiveIds.size();
+      Net.cancelFlow(LiveIds[Pick]);
+      LiveIds[Pick] = LiveIds.back();
+      LiveIds.pop_back();
+      LiveIds.push_back(start());
+    } else if (Op < 0.80 || LiveIds.empty()) {
+      LiveIds.push_back(start());
+      if (LiveIds.size() > NumFlows) {
+        Net.cancelFlow(LiveIds.front());
+        LiveIds.front() = LiveIds.back();
+        LiveIds.pop_back();
+      }
+    } else {
+      size_t Pick = size_t(Rng.uniform() * LiveIds.size()) % LiveIds.size();
+      Net.setEndpointCap(LiveIds[Pick], Rng.uniform(mbps(1), mbps(50)));
+    }
+    if (I % 64 == 63)
+      Sim.runUntil(Sim.now() + 0.1);
+  }
+  auto Wall1 = std::chrono::steady_clock::now();
+
+  ChurnResult R;
+  double Seconds = std::chrono::duration<double>(Wall1 - Wall0).count();
+  R.StepsPerSec = Seconds > 0.0 ? double(Steps) / Seconds : 0.0;
+  uint64_t Events = Net.rebalanceEvents() - Events0;
+  uint64_t Demands = Net.rebalanceDemandsSolved() - Demands0;
+  R.MeanComponent = Events > 0 ? double(Demands) / double(Events) : 0.0;
+  R.MaxError = Net.maxRebalanceError();
+  return R;
+}
+
+} // namespace
+
+int main() {
+  bench::banner("Network substrate: flow churn at scale",
+                "perf harness for incremental rebalancing (events re-solve "
+                "one component, not every concurrent flow)");
+
+  Table T;
+  T.setHeader({"flows", "topology", "steps/s", "mean component", "max err"});
+  ChurnResult Pairs1k = runChurn(1000, false, 2000, 7);
+  ChurnResult Pairs10k = runChurn(10000, false, 2000, 7);
+  ChurnResult Core1k = runChurn(1000, true, 1000, 7);
+  ChurnResult Core10k = runChurn(10000, true, 200, 7);
+  auto Row = [&](size_t Flows, const char *Topo, const ChurnResult &R) {
+    T.beginRow();
+    T.add(static_cast<long long>(Flows));
+    T.add(Topo);
+    T.add(R.StepsPerSec, 0);
+    T.add(R.MeanComponent, 1);
+    T.add(R.MaxError, 12);
+  };
+  Row(1000, "isolated-pairs", Pairs1k);
+  Row(10000, "isolated-pairs", Pairs10k);
+  Row(1000, "shared-core", Core1k);
+  Row(10000, "shared-core", Core10k);
+  T.print(stdout);
+  std::printf("\n");
+
+  double WorstErr =
+      std::max(std::max(Pairs1k.MaxError, Pairs10k.MaxError),
+               std::max(Core1k.MaxError, Core10k.MaxError));
+  bool Exact = WorstErr <= 1e-9;
+  // 10x the flows must not mean 10x the work per event where bottlenecks
+  // are independent: the component stays the bottleneck's flow set.
+  bool Incremental = Pairs10k.MeanComponent <= double(10000) / 10.0;
+  // At 1k flows the pair links are unsaturated (components of ~1 demand);
+  // at 10k they saturate (~80 demands), so steps/s legitimately drops.
+  // What must hold is the demand-solve rate: 10x the flows must not make
+  // each solved demand materially more expensive.
+  auto DemandsPerSec = [](const ChurnResult &R) {
+    return R.StepsPerSec * std::max(R.MeanComponent, 1.0);
+  };
+  bool Scales = DemandsPerSec(Pairs10k) >= DemandsPerSec(Pairs1k) / 5.0;
+  bench::shapeCheck(Exact,
+                    "incremental rates match a full solve to 1e-9 after "
+                    "thousands of churn events");
+  bench::shapeCheck(Incremental,
+                    "mean re-solved component stays small on independent "
+                    "bottlenecks (10k flows)");
+  bench::shapeCheck(Scales,
+                    "churn throughput degrades sublinearly from 1k to 10k "
+                    "concurrent flows");
+  return Exact && Incremental && Scales ? 0 : 1;
+}

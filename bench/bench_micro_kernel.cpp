@@ -14,12 +14,16 @@
 
 #include "monitor/Forecaster.h"
 #include "net/FairShare.h"
+#include "net/FlowNetwork.h"
 #include "net/Routing.h"
 #include "net/Topology.h"
 #include "sim/Simulator.h"
 #include "support/Random.h"
 
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
 
 using namespace dgsim;
 
@@ -82,6 +86,102 @@ static void BM_RoutingColdPaths(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * (Sites - 1));
 }
 BENCHMARK(BM_RoutingColdPaths)->Arg(16)->Arg(64)->Arg(256);
+
+namespace {
+
+/// Flow-churn harness: \p Pairs isolated source->sink pairs (one dedicated
+/// link each) or, when \p SharedCore is set, a star where every pair routes
+/// through one core node, so all flows meet on the access links.  \p Flows
+/// long-lived transfers are spread round-robin across the pairs; churn then
+/// replaces one flow per step.  This is the event pattern of a large grid
+/// ablation: arrivals and departures against a big standing flow set.
+struct ChurnFixture {
+  Simulator Sim{11};
+  Topology Topo;
+  TcpModel Tcp;
+  std::unique_ptr<Routing> Router;
+  std::unique_ptr<FlowNetwork> Net;
+  std::vector<NodeId> Src, Dst;
+  std::vector<FlowId> Ids;
+  RandomEngine Rng{17};
+  size_t Pairs;
+
+  ChurnFixture(size_t Pairs, size_t Flows, bool SharedCore) : Pairs(Pairs) {
+    NodeId Core = SharedCore ? Topo.addNode("core") : InvalidNodeId;
+    for (size_t I = 0; I < Pairs; ++I) {
+      Src.push_back(Topo.addNode("s" + std::to_string(I)));
+      Dst.push_back(Topo.addNode("d" + std::to_string(I)));
+      if (SharedCore) {
+        Topo.addLink(Src[I], Core, 1e9, 0.002, 1e-4);
+        Topo.addLink(Core, Dst[I], 1e9, 0.002, 1e-4);
+      } else {
+        Topo.addLink(Src[I], Dst[I], 1e9, 0.005, 1e-4);
+      }
+    }
+    Router = std::make_unique<Routing>(Topo);
+    Net = std::make_unique<FlowNetwork>(Sim, Topo, *Router, Tcp);
+    for (size_t I = 0; I < Flows; ++I)
+      Ids.push_back(startOne(I % Pairs));
+  }
+
+  FlowId startOne(size_t Pair) {
+    FlowOptions Opt;
+    Opt.Streams = 1 + static_cast<unsigned>(Rng.uniformInt(4));
+    Opt.EndpointCap = Rng.uniform(1e6, 5e7);
+    Opt.Background = true; // Pure churn; nothing keeps run() alive.
+    // Volumes far beyond what the bench moves: no completions interfere.
+    return Net->startFlow(Src[Pair], Dst[Pair], 1e15, Opt, nullptr);
+  }
+};
+
+} // namespace
+
+/// One churn step = cancel one standing flow + start a replacement: two
+/// rebalance events against range(0) concurrent flows on disjoint pairs.
+static void BM_FlowChurn(benchmark::State &State) {
+  ChurnFixture F(128, State.range(0), /*SharedCore=*/false);
+  size_t Cursor = 0;
+  for (auto _ : State) {
+    F.Net->cancelFlow(F.Ids[Cursor]);
+    F.Ids[Cursor] = F.startOne(Cursor % F.Pairs);
+    Cursor = (Cursor + 1) % F.Ids.size();
+  }
+  State.SetItemsProcessed(State.iterations() * 2); // Two events per step.
+}
+BENCHMARK(BM_FlowChurn)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+/// Adversarial variant: every flow crosses the shared star, so each event's
+/// affected component is large and the win must come from the solver itself.
+static void BM_FlowChurnSharedCore(benchmark::State &State) {
+  ChurnFixture F(64, State.range(0), /*SharedCore=*/true);
+  size_t Cursor = 0;
+  for (auto _ : State) {
+    F.Net->cancelFlow(F.Ids[Cursor]);
+    F.Ids[Cursor] = F.startOne(Cursor % F.Pairs);
+    Cursor = (Cursor + 1) % F.Ids.size();
+  }
+  State.SetItemsProcessed(State.iterations() * 2);
+}
+BENCHMARK(BM_FlowChurnSharedCore)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+/// A single cap-change event against a standing flow set: the cost of one
+/// rebalance when only one flow's constraint moved.
+static void BM_IncrementalRebalance(benchmark::State &State) {
+  ChurnFixture F(128, State.range(0), /*SharedCore=*/false);
+  FlowId Target = F.Ids[0];
+  const double Caps[2] = {2e7, 3e7};
+  size_t K = 0;
+  for (auto _ : State)
+    F.Net->setEndpointCap(Target, Caps[K ^= 1]);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_IncrementalRebalance)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
 
 static void BM_NwsForecasterObserve(benchmark::State &State) {
   RandomEngine Rng(4);

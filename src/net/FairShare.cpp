@@ -3,101 +3,234 @@
 // Part of dgsim.  SPDX-License-Identifier: MIT
 //
 //===----------------------------------------------------------------------===//
+//
+// Event-driven progressive filling.  All active demands rise together at a
+// speed proportional to their weight; the shared progress variable is the
+// *fill level* L, so an active demand's rate is always Weight * L.  Two
+// kinds of event can stop a demand:
+//
+//   * its cap binds, at the statically known level Cap / Weight, or
+//   * a resource it uses saturates, at level L + Residual / ActiveWeight.
+//
+// Both live in one min-heap keyed by level.  Resource events go stale when
+// a freeze elsewhere changes the resource's active weight; a per-resource
+// version counter invalidates them lazily (pop, compare, drop), the same
+// trick event-driven simulators use for cancellable timers.  Residuals are
+// settled lazily too: a resource's residual is only brought forward to the
+// current level when its active weight is about to change, which keeps the
+// per-freeze cost proportional to the demand's own footprint.
+//
+//===----------------------------------------------------------------------===//
 
 #include "net/FairShare.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
 
 using namespace dgsim;
 
+void FairShareWorkspace::clear() {
+  ResCapacity.clear();
+  DemandRes.clear();
+  DemandOffset.clear();
+  DemandCap.clear();
+  DemandWeight.clear();
+}
+
+uint32_t FairShareWorkspace::addResource(double Capacity) {
+  assert(Capacity >= 0.0 && "negative resource capacity");
+  ResCapacity.push_back(Capacity);
+  return static_cast<uint32_t>(ResCapacity.size() - 1);
+}
+
+void FairShareWorkspace::setResourceCapacity(uint32_t Res, double Capacity) {
+  assert(Res < ResCapacity.size() && "resource index out of range");
+  assert(Capacity >= 0.0 && "negative resource capacity");
+  ResCapacity[Res] = Capacity;
+}
+
+uint32_t FairShareWorkspace::beginDemand(double Cap, double Weight) {
+  assert(Weight >= 1.0 && "demand weight must be at least 1");
+  assert(!(Cap < 0.0) && "negative demand cap");
+  DemandCap.push_back(Cap);
+  DemandWeight.push_back(Weight);
+  DemandOffset.push_back(static_cast<uint32_t>(DemandRes.size()));
+  return static_cast<uint32_t>(DemandCap.size() - 1);
+}
+
+void FairShareWorkspace::demandUses(uint32_t Res) {
+  assert(!DemandCap.empty() && "demandUses before beginDemand");
+  assert(Res < ResCapacity.size() && "resource index out of range");
+  DemandRes.push_back(Res);
+}
+
+void FairShareWorkspace::pushEvent(double Level, uint32_t Id,
+                                   uint32_t Version) {
+  Heap.push_back(FillEvent{Level, Id, Version});
+  std::push_heap(Heap.begin(), Heap.end(),
+                 [](const FillEvent &A, const FillEvent &B) {
+                   return A.Level > B.Level;
+                 });
+}
+
+FairShareWorkspace::FillEvent FairShareWorkspace::popEvent() {
+  std::pop_heap(Heap.begin(), Heap.end(),
+                [](const FillEvent &A, const FillEvent &B) {
+                  return A.Level > B.Level;
+                });
+  FillEvent Ev = Heap.back();
+  Heap.pop_back();
+  return Ev;
+}
+
+/// Brings the resource's residual forward to \p Level: consumption between
+/// settles is ActiveWeight * (level delta) because every active demand on
+/// the resource rises at its weight.
+void FairShareWorkspace::settleResource(uint32_t R, double Level) {
+  double Dl = Level - ResLevel[R];
+  if (Dl > 0.0) {
+    Residual[R] -= ActiveWeight[R] * Dl;
+    if (Residual[R] < 0.0)
+      Residual[R] = 0.0; // FP residue only; consumption is exact otherwise.
+    ResLevel[R] = Level;
+  }
+}
+
+void FairShareWorkspace::freezeDemand(uint32_t D, double Level, bool AtCap) {
+  Frozen[D] = 1;
+  --ActiveCount;
+  Rate[D] = AtCap ? DemandCap[D] : DemandWeight[D] * Level;
+  uint32_t End = D + 1 < DemandOffset.size()
+                     ? DemandOffset[D + 1]
+                     : static_cast<uint32_t>(DemandRes.size());
+  for (uint32_t I = DemandOffset[D]; I != End; ++I) {
+    uint32_t R = DemandRes[I];
+    settleResource(R, Level);
+    ActiveWeight[R] -= DemandWeight[D];
+    ++ResVersion[R];
+    if (!ResSaturated[R] && ActiveWeight[R] > 0.0)
+      pushEvent(Level + std::max(0.0, Residual[R]) / ActiveWeight[R],
+                static_cast<uint32_t>(DemandCap.size()) + R, ResVersion[R]);
+  }
+}
+
+void FairShareWorkspace::solve() {
+  const double Inf = std::numeric_limits<double>::infinity();
+  const size_t NumRes = ResCapacity.size();
+  const size_t NumDem = DemandCap.size();
+
+  Rate.assign(NumDem, 0.0);
+  ResSaturated.assign(NumRes, 0);
+  Frozen.assign(NumDem, 0);
+  Residual = ResCapacity;
+  ActiveWeight.assign(NumRes, 0.0);
+  ResLevel.assign(NumRes, 0.0);
+  ResVersion.assign(NumRes, 0);
+  ResDemOffset.assign(NumRes + 1, 0);
+  Heap.clear();
+
+  auto listingEnd = [&](uint32_t D) {
+    return D + 1 < NumDem ? DemandOffset[D + 1]
+                          : static_cast<uint32_t>(DemandRes.size());
+  };
+
+  // Classify demands; accumulate per-resource active weight.
+  ActiveCount = 0;
+  for (uint32_t D = 0; D != NumDem; ++D) {
+    if (DemandOffset[D] == listingEnd(D)) {
+      // Nothing contends: the demand gets its cap outright (possibly +inf
+      // for an uncapped local transfer, which callers treat as "instant").
+      Rate[D] = DemandCap[D];
+      Frozen[D] = 1;
+      continue;
+    }
+    if (DemandCap[D] <= 0.0) {
+      Frozen[D] = 1; // Frozen at zero (e.g. host completely busy).
+      continue;
+    }
+    ++ActiveCount;
+    for (uint32_t I = DemandOffset[D]; I != listingEnd(D); ++I)
+      ActiveWeight[DemandRes[I]] += DemandWeight[D];
+    if (std::isfinite(DemandCap[D]))
+      pushEvent(DemandCap[D] / DemandWeight[D], D, 0);
+  }
+
+  // Transpose to CSR demands-per-resource (active demands only), so a
+  // saturation event can enumerate exactly the demands it freezes.
+  for (uint32_t D = 0; D != NumDem; ++D)
+    if (!Frozen[D])
+      for (uint32_t I = DemandOffset[D]; I != listingEnd(D); ++I)
+        ++ResDemOffset[DemandRes[I] + 1];
+  for (size_t R = 0; R != NumRes; ++R)
+    ResDemOffset[R + 1] += ResDemOffset[R];
+  ResDem.resize(DemandRes.size());
+  {
+    // Fill using the offset array as a moving cursor, then restore it.
+    for (uint32_t D = 0; D != NumDem; ++D)
+      if (!Frozen[D])
+        for (uint32_t I = DemandOffset[D]; I != listingEnd(D); ++I)
+          ResDem[ResDemOffset[DemandRes[I]]++] = D;
+    for (size_t R = NumRes; R != 0; --R)
+      ResDemOffset[R] = ResDemOffset[R - 1];
+    ResDemOffset[0] = 0;
+  }
+
+  for (uint32_t R = 0; R != NumRes; ++R)
+    if (ActiveWeight[R] > 0.0)
+      pushEvent(Residual[R] / ActiveWeight[R],
+                static_cast<uint32_t>(NumDem) + R, 0);
+
+  // Drain events in level order.
+  while (ActiveCount != 0 && !Heap.empty()) {
+    FillEvent Ev = popEvent();
+    if (Ev.Id < NumDem) {
+      // Cap event.
+      uint32_t D = Ev.Id;
+      if (Frozen[D])
+        continue;
+      freezeDemand(D, Ev.Level, /*AtCap=*/true);
+      continue;
+    }
+    uint32_t R = Ev.Id - static_cast<uint32_t>(NumDem);
+    if (Ev.Version != ResVersion[R] || ActiveWeight[R] <= 0.0)
+      continue; // Stale: a freeze changed this resource since the push.
+    settleResource(R, Ev.Level);
+    ResSaturated[R] = 1;
+    Residual[R] = 0.0;
+    for (uint32_t I = ResDemOffset[R]; I != ResDemOffset[R + 1]; ++I) {
+      uint32_t D = ResDem[I];
+      if (!Frozen[D])
+        freezeDemand(D, Ev.Level, /*AtCap=*/false);
+    }
+    assert(ActiveWeight[R] <= 1e-9 && "saturated resource kept demands");
+  }
+
+  // No finite constraint remains (unreachable when every demand touches a
+  // finite-capacity resource, but kept as the documented contract).
+  if (ActiveCount != 0)
+    for (uint32_t D = 0; D != NumDem; ++D)
+      if (!Frozen[D])
+        Rate[D] = Inf;
+}
+
 std::vector<double>
 dgsim::solveMaxMinFairShare(const std::vector<double> &Capacities,
                             const std::vector<FairShareDemand> &Demands) {
-  const double Inf = std::numeric_limits<double>::infinity();
-  size_t NumRes = Capacities.size();
-  size_t NumDem = Demands.size();
-
-  std::vector<double> Rate(NumDem, 0.0);
-  std::vector<double> Residual = Capacities;
-  std::vector<bool> Active(NumDem, false);
-  size_t ActiveCount = 0;
-
-  for (size_t F = 0; F != NumDem; ++F) {
-    const FairShareDemand &D = Demands[F];
-    assert(D.Weight >= 1.0 && "demand weight must be at least 1");
-    assert(D.Cap >= 0.0 && "negative demand cap");
-    if (D.Resources.empty()) {
-      // Nothing contends: the demand gets its cap outright (possibly +inf
-      // for an uncapped local transfer, which callers treat as "instant").
-      Rate[F] = D.Cap;
-      continue;
-    }
+  FairShareWorkspace Ws;
+  Ws.clear();
+  for (double C : Capacities) {
+    assert(C > 0.0 && "resources need positive capacity");
+    Ws.addResource(C);
+  }
+  for (const FairShareDemand &D : Demands) {
+    Ws.beginDemand(D.Cap, D.Weight);
     for (uint32_t R : D.Resources) {
-      (void)R;
-      assert(R < NumRes && "resource index out of range");
-      assert(Capacities[R] > 0.0 && "resources need positive capacity");
-    }
-    if (D.Cap <= 0.0)
-      continue; // Frozen at zero (e.g. host completely busy).
-    Active[F] = true;
-    ++ActiveCount;
-  }
-
-  // Per-resource sum of active weights.
-  std::vector<double> ActiveWeight(NumRes, 0.0);
-  for (size_t F = 0; F != NumDem; ++F)
-    if (Active[F])
-      for (uint32_t R : Demands[F].Resources)
-        ActiveWeight[R] += Demands[F].Weight;
-
-  // Progressive filling: raise every active rate at a speed proportional to
-  // its weight until a resource saturates or a cap binds, freeze, repeat.
-  while (ActiveCount != 0) {
-    double Delta = Inf;
-    for (size_t R = 0; R != NumRes; ++R)
-      if (ActiveWeight[R] > 0.0)
-        Delta = std::min(Delta, Residual[R] / ActiveWeight[R]);
-    for (size_t F = 0; F != NumDem; ++F)
-      if (Active[F] && std::isfinite(Demands[F].Cap))
-        Delta = std::min(Delta, (Demands[F].Cap - Rate[F]) /
-                                    Demands[F].Weight);
-    if (std::isinf(Delta)) {
-      // No finite constraint remains; active demands are unbounded.
-      for (size_t F = 0; F != NumDem; ++F)
-        if (Active[F])
-          Rate[F] = Inf;
-      break;
-    }
-    assert(Delta >= 0.0 && "progressive filling went backwards");
-
-    for (size_t F = 0; F != NumDem; ++F)
-      if (Active[F])
-        Rate[F] += Demands[F].Weight * Delta;
-    for (size_t R = 0; R != NumRes; ++R)
-      if (ActiveWeight[R] > 0.0)
-        Residual[R] -= ActiveWeight[R] * Delta;
-
-    // Freeze demands that hit their cap or sit on a saturated resource.
-    for (size_t F = 0; F != NumDem; ++F) {
-      if (!Active[F])
-        continue;
-      const FairShareDemand &D = Demands[F];
-      bool CapHit = Rate[F] >= D.Cap * (1.0 - 1e-12);
-      bool Saturated = false;
-      for (uint32_t R : D.Resources)
-        if (Residual[R] <= Capacities[R] * 1e-12) {
-          Saturated = true;
-          break;
-        }
-      if (!CapHit && !Saturated)
-        continue;
-      Active[F] = false;
-      --ActiveCount;
-      for (uint32_t R : D.Resources)
-        ActiveWeight[R] -= D.Weight;
+      assert(R < Capacities.size() && "resource index out of range");
+      Ws.demandUses(R);
     }
   }
-  return Rate;
+  Ws.solve();
+  return Ws.rates();
 }

@@ -18,6 +18,20 @@
 /// with N streams takes an N-times share at a shared bottleneck, which is
 /// the second reason parallel data transfer wins on busy links.
 ///
+/// Two entry points:
+///
+///   * `FairShareWorkspace` — the production path.  The caller assembles a
+///     problem into flat CSR-style arrays owned by the workspace and calls
+///     solve(); after the first few solves at a given problem size no memory
+///     is allocated.  Instead of re-scanning every resource per filling
+///     iteration, the solver runs event-driven: saturation levels and cap
+///     levels live in one min-heap, so the cost is O((listings + events)
+///     log n) rather than O(iterations x resources).
+///
+///   * `solveMaxMinFairShare(...)` — the original convenience wrapper over
+///     per-demand vectors; it assembles a workspace internally and is kept
+///     for tests and callers off the hot path.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DGSIM_NET_FAIRSHARE_H
@@ -25,14 +39,17 @@
 
 #include "support/Units.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace dgsim {
 
-/// One demand in a fair-share problem.
+/// One demand in a fair-share problem (convenience-API form).
 struct FairShareDemand {
-  /// Indices of the resources this demand consumes.
+  /// Indices of the resources this demand consumes.  A resource listed
+  /// twice counts twice, both for the demand's footprint and the
+  /// resource's active weight.
   std::vector<uint32_t> Resources;
   /// Upper bound on the allocated rate (use +inf for "unbounded").
   double Cap = 0.0;
@@ -40,7 +57,86 @@ struct FairShareDemand {
   double Weight = 1.0;
 };
 
-/// Solves the weighted max-min fair allocation.
+/// Reusable workspace for the event-driven max-min solver.
+///
+/// Lifecycle per solve: clear(), addResource() for every contended
+/// resource, then for each demand beginDemand() followed by demandUses()
+/// for every resource listing, then solve().  Results stay valid until the
+/// next clear().  All buffers are retained across solves, so a workspace
+/// embedded in a long-lived owner (FlowNetwork) reaches a steady state
+/// with zero allocations per solve.
+class FairShareWorkspace {
+public:
+  /// Starts a new problem; keeps all capacity reservations.
+  void clear();
+
+  /// Registers a resource; capacity may be zero (an already-exhausted
+  /// residual), in which case its demands freeze at the current level.
+  /// \returns the resource index for demandUses().
+  uint32_t addResource(double Capacity);
+
+  /// Overwrites a resource capacity registered this problem (used by
+  /// callers that discover residual capacities after demand assembly).
+  void setResourceCapacity(uint32_t Res, double Capacity);
+
+  /// Opens the next demand.  \p Cap <= 0 freezes it at rate zero; a demand
+  /// that never calls demandUses() is allocated exactly its cap.
+  /// \returns the demand index for rate().
+  uint32_t beginDemand(double Cap, double Weight);
+
+  /// Appends one resource listing to the most recently opened demand.
+  void demandUses(uint32_t Res);
+
+  size_t resourceCount() const { return ResCapacity.size(); }
+  size_t demandCount() const { return DemandCap.size(); }
+
+  /// Solves the assembled problem.
+  void solve();
+
+  /// \returns the allocated rate of demand \p D (valid after solve()).
+  double rate(uint32_t D) const { return Rate[D]; }
+  const std::vector<double> &rates() const { return Rate; }
+
+  /// \returns true when resource \p R was driven to saturation — i.e. it
+  /// is the binding constraint that froze at least one demand.
+  bool saturated(uint32_t R) const { return ResSaturated[R] != 0; }
+
+private:
+  struct FillEvent {
+    double Level;  // Fill level at which the event fires.
+    uint32_t Id;   // Demand id, or NumDemands + resource id.
+    uint32_t Version;
+  };
+
+  void settleResource(uint32_t R, double Level);
+  void freezeDemand(uint32_t D, double Level, bool AtCap);
+  void pushEvent(double Level, uint32_t Id, uint32_t Version);
+  FillEvent popEvent();
+
+  // Problem (caller-assembled).
+  std::vector<double> ResCapacity;
+  std::vector<uint32_t> DemandRes;    // CSR resource listings, all demands.
+  std::vector<uint32_t> DemandOffset; // Listing start per demand.
+  std::vector<double> DemandCap;
+  std::vector<double> DemandWeight;
+
+  // Results.
+  std::vector<double> Rate;
+  std::vector<uint8_t> ResSaturated;
+
+  // Scratch (sized in solve(), reused across calls).
+  std::vector<uint32_t> ResDem;       // CSR transpose: demands per resource.
+  std::vector<uint32_t> ResDemOffset;
+  std::vector<double> Residual;
+  std::vector<double> ActiveWeight;
+  std::vector<double> ResLevel;       // Fill level of last settle.
+  std::vector<uint32_t> ResVersion;
+  std::vector<uint8_t> Frozen;
+  std::vector<FillEvent> Heap;
+  size_t ActiveCount = 0;
+};
+
+/// Solves the weighted max-min fair allocation (convenience wrapper).
 ///
 /// \param Capacities per-resource capacity (must be positive).
 /// \param Demands the demand set; demands with empty resource sets are

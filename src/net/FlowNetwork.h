@@ -10,10 +10,23 @@
 /// Transfers are *fluid flows*: each active flow progresses at a rate
 /// determined by weighted max-min fair sharing of the channels on its path,
 /// clipped by a per-flow cap (TCP stream bounds and end-host disk/CPU
-/// limits).  Whenever the flow set or a cap changes, all flows are advanced
-/// to the current instant, rates are re-solved, and the next completion is
-/// rescheduled.  This gives exact piecewise-constant rate trajectories
-/// without per-packet simulation.
+/// limits).  Whenever the flow set or a cap changes, rates are re-solved and
+/// the next completion is rescheduled.  This gives exact piecewise-constant
+/// rate trajectories without per-packet simulation.
+///
+/// Rebalancing is *incremental*: a channel->flows incidence index locates
+/// the flows affected by an event, the affected set is closed over channels
+/// that were saturated in the standing allocation (only binding constraints
+/// propagate rate changes), and only that component is re-solved against
+/// residual channel capacities — every other flow's rate is provably
+/// unchanged and stays frozen.  A post-solve audit catches channels that
+/// newly saturate against frozen flows and expands the component to a
+/// fixpoint, so the result always equals the global max-min solution.
+/// Remaining volumes are settled lazily per flow and completions live in a
+/// lazy min-heap, so event cost scales with the affected component, not the
+/// number of concurrent flows.  Builds with -DDGSIM_CHECK_REBALANCE (or a
+/// setCheckRebalance(true) call) verify every event against a full
+/// from-scratch solve.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,9 +41,8 @@
 
 #include <functional>
 #include <limits>
-#include <map>
-#include <optional>
-#include <unordered_set>
+#include <unordered_map>
+#include <vector>
 
 namespace dgsim {
 
@@ -95,7 +107,10 @@ public:
   Bytes remainingBytes(FlowId Id) const;
 
   /// \returns the number of active flows.
-  size_t activeFlows() const { return Flows.size(); }
+  size_t activeFlows() const { return IdToSlot.size(); }
+
+  /// \returns the number of active flows currently moving (rate > 0).
+  size_t movingFlows() const { return MovingFlows; }
 
   /// Takes a link down or brings it back up.  Flows whose path crosses a
   /// down link stall at rate zero and resume automatically on repair; they
@@ -122,46 +137,183 @@ public:
   /// \returns the router (protocol layers query RTTs for handshakes).
   Routing &routing() { return Router; }
 
+  /// Debug/verification: when enabled, every committed rebalance is checked
+  /// against a full from-scratch solve (assert on divergence > 1e-9).
+  /// Defaults to on in -DDGSIM_CHECK_REBALANCE builds.
+  void setCheckRebalance(bool Enabled) { CheckRebalance = Enabled; }
+  bool checkRebalance() const { return CheckRebalance; }
+
+  /// Debug/verification: \returns the largest relative difference between
+  /// the standing incremental rates and a full from-scratch solve.
+  double maxRebalanceError();
+
+  /// Perf introspection: rebalance events committed, and total demands
+  /// handed to the solver across them.  Their ratio is the mean affected
+  /// component size — the quantity incremental rebalancing keeps small.
+  uint64_t rebalanceEvents() const { return StatEvents; }
+  uint64_t rebalanceDemandsSolved() const { return StatDemands; }
+
   /// How often fully stalled foreground flows re-check for capacity.
   static constexpr SimTime StallRecheckPeriod = 1.0;
 
 private:
   struct ActiveFlow {
-    FlowId Id;
-    NodeId Src;
-    NodeId Dst;
-    NetPath Path;
-    Bytes Total;
-    Bytes Remaining;
-    SimTime StartTime;
-    double Weight; // Stream count, as fair-share weight.
-    BitRate TcpCap;
-    BitRate EndpointCap;
+    FlowId Id = InvalidFlowId;
+    NodeId Src = InvalidNodeId;
+    NodeId Dst = InvalidNodeId;
+    /// Channels travelled, referenced in place from the routing cache
+    /// (never copied per flow); valid for the router's lifetime.
+    const NetPath *Path = nullptr;
+    Bytes Total = 0.0;
+    Bytes Remaining = 0.0; // As of RateSince, not of now (settled lazily).
+    SimTime StartTime = 0.0;
+    SimTime RateSince = 0.0; // When Rate was last assigned.
+    double Weight = 1.0;     // Stream count, as fair-share weight.
+    BitRate TcpCap = 0.0;
+    BitRate EndpointCap = 0.0;
     BitRate Rate = 0.0;
+    uint32_t DownOnPath = 0; // Down links crossed (stalls while > 0).
+    uint32_t Epoch = 0;      // Bumped per rate change; validates heap entries.
     bool Background = false;
+    bool Live = false; // Slot occupancy (slots are pooled and reused).
     CompletionFn OnComplete;
+    /// Position of this flow inside each path channel's incidence list
+    /// (parallel to Path->Channels); makes removal O(path length).
+    std::vector<uint32_t> ChanPos;
   };
 
-  /// Moves every flow forward to now() at its current rate.
-  void advanceFlows();
+  /// A pending completion: flow Id finishes at Time unless its rate changes
+  /// first (Epoch mismatch invalidates the entry lazily).
+  struct CompletionEntry {
+    SimTime Time;
+    FlowId Id;
+    uint32_t Epoch;
+  };
 
-  /// Re-solves all rates and reschedules the next completion event.
-  void rebalance();
+  /// What the single pending FlowNetwork event currently is.
+  enum class EventKind : uint8_t { None, Completion, Watchdog };
+
+  uint32_t allocSlot();
+  void freeSlot(uint32_t Slot);
+  void insertIncidence(uint32_t Slot);
+  void removeIncidence(uint32_t Slot);
+
+  /// \returns the flow's slot, or ~0u when the id is not active.
+  uint32_t findSlot(FlowId Id) const;
+
+  /// The constraint the flow presents to the solver right now.
+  BitRate effectiveCap(const ActiveFlow &F) const {
+    return F.DownOnPath != 0 ? 0.0 : std::min(F.TcpCap, F.EndpointCap);
+  }
+
+  /// \returns remaining bytes progressed to time \p Now.
+  Bytes remainingAt(const ActiveFlow &F, SimTime Now) const;
+
+  /// Brings Remaining forward to now() (called before Rate changes).
+  void settleFlow(ActiveFlow &F);
+
+  /// Assigns a new rate: settles, maintains MovingFlows, invalidates the
+  /// flow's completion entry and pushes a fresh one when due/moving.
+  void setRate(ActiveFlow &F, BitRate NewRate);
+
+  void pushCompletion(const ActiveFlow &F);
+  /// \returns the earliest valid completion time, popping stale entries.
+  bool peekCompletion(SimTime &Time);
+
+  /// Marks a channel touched by the current rebalance (lazily resetting its
+  /// scratch state) and \returns its scratch index.
+  uint32_t touchChannel(ChannelId Ch);
+
+  /// Adds a flow slot to the affected component (idempotent).
+  void addToComponent(uint32_t Slot);
+
+  /// Removes one flow from all per-channel accounting and collects rebalance
+  /// seeds from its formerly saturated channels.  The slot stays allocated.
+  void detachFlow(uint32_t Slot);
+
+  /// Solves the affected component seeded by SeedSlots/SeedChannels and, if
+  /// \p Probe is null, commits rates, channel usage and saturation flags and
+  /// reschedules the pending event.  With \p Probe set, nothing is
+  /// committed and the probe demand's hypothetical rate is returned.
+  struct ProbeSpec {
+    const NetPath *Path;
+    double Cap;
+    double Weight;
+  };
+  double solveComponent(const ProbeSpec *Probe);
+
+  /// Treats every flow as affected (watchdog path and verification).
+  void rebalanceAll();
+
+  /// Reschedules the single pending event from the completion heap.
+  void scheduleNext();
 
   /// Completes flows whose remaining volume reached zero.
   void finishDueFlows();
+
+  /// Asserts the standing rates match a full solve (check mode).
+  void verifyAgainstFullSolve();
 
   Simulator &Sim;
   const Topology &Topo;
   Routing &Router;
   const TcpModel &Tcp;
-  // std::map keeps iteration deterministic (insertion ids are ordered).
-  std::map<FlowId, ActiveFlow> Flows;
+
+  // Flow store: pooled slots + id lookup.  Iteration goes through slots
+  // (deterministic order); lookups through the map.
+  std::vector<ActiveFlow> Slots;
+  std::vector<uint32_t> FreeSlots;
+  std::unordered_map<FlowId, uint32_t> IdToSlot;
   FlowId NextFlowId = 1;
-  SimTime LastAdvance = 0.0;
-  EventId NextCompletionEvent = InvalidEventId;
-  // Links currently administratively down (failure injection).
-  std::unordered_set<LinkId> DownLinks;
+  size_t ForegroundFlows = 0;
+  size_t MovingFlows = 0;
+
+  // Per-channel standing state.
+  std::vector<double> ChannelCap;   // Link capacity x TCP goodput factor.
+  std::vector<double> ChannelUsage; // Sum of committed rates.
+  std::vector<uint8_t> ChannelSaturated;
+  std::vector<std::vector<uint32_t>> ChannelFlows; // Incidence (slot ids).
+
+  // Link failure state: per-link flag plus a count so the common case
+  // (no failures anywhere) costs one comparison per flow start.
+  std::vector<uint8_t> LinkDown;
+  size_t DownLinkCount = 0;
+
+  // Completion heap (lazy invalidation by flow epoch).
+  std::vector<CompletionEntry> CompletionHeap;
+  EventId NextEvent = InvalidEventId;
+  EventKind NextEventKind = EventKind::None;
+  SimTime NextEventTime = 0.0;
+  bool NextEventDaemon = false;
+
+  // Rebalance scratch, reused across events (no per-event allocation once
+  // warm).  Channel scratch entries are reset lazily via a stamp.
+  struct ChannelScratch {
+    uint32_t Stamp = 0;
+    uint32_t Local = 0;   // Resource index in the workspace.
+    uint32_t SCount = 0;  // Flows of the component on this channel.
+    double SUsage = 0.0;  // Their standing (pre-solve) rate sum.
+    double NewUsage = 0.0;
+    uint8_t Expanded = 0; // All incident flows already pulled in.
+  };
+  std::vector<ChannelScratch> ChanScratch;
+  uint32_t CurStamp = 0;
+  std::vector<uint32_t> SeedSlots;       // Event seeds (component roots).
+  std::vector<ChannelId> SeedChannels;   // Channels needing usage refresh.
+  std::vector<uint32_t> CompSlots;       // The affected component.
+  std::vector<uint8_t> InComponent;      // Per-slot membership flag.
+  std::vector<ChannelId> TouchedChannels;
+  FairShareWorkspace Ws;
+  FairShareWorkspace CheckWs; // Separate space for full-solve verification.
+
+  bool CheckRebalance =
+#ifdef DGSIM_CHECK_REBALANCE
+      true;
+#else
+      false;
+#endif
+  uint64_t StatEvents = 0;
+  uint64_t StatDemands = 0;
 };
 
 } // namespace dgsim

@@ -18,6 +18,15 @@ static uint64_t pairKey(NodeId Src, NodeId Dst) {
 }
 
 std::optional<NetPath> Routing::path(NodeId Src, NodeId Dst) {
+  return lookup(Src, Dst);
+}
+
+const NetPath *Routing::pathRef(NodeId Src, NodeId Dst) {
+  const std::optional<NetPath> &P = lookup(Src, Dst);
+  return P ? &*P : nullptr;
+}
+
+const std::optional<NetPath> &Routing::lookup(NodeId Src, NodeId Dst) {
   assert(Src < Topo.nodeCount() && Dst < Topo.nodeCount() &&
          "route endpoint out of range");
   auto It = Cache.find(pairKey(Src, Dst));
@@ -71,8 +80,7 @@ std::optional<NetPath> Routing::path(NodeId Src, NodeId Dst) {
     std::reverse(Channels.begin(), Channels.end());
     Result = buildPath(Src, Dst, Channels);
   }
-  Cache.emplace(pairKey(Src, Dst), Result);
-  return Result;
+  return Cache.emplace(pairKey(Src, Dst), std::move(Result)).first->second;
 }
 
 bool Routing::reachable(NodeId Src, NodeId Dst) {

@@ -45,10 +45,18 @@ public:
   /// nodes are disconnected.  Paths are cached per (Src, Dst).
   std::optional<NetPath> path(NodeId Src, NodeId Dst);
 
+  /// Allocation-free variant: \returns a pointer to the cached path, or
+  /// nullptr when the nodes are disconnected.  The pointer stays valid for
+  /// the router's lifetime (the cache is node-stable and never flushed), so
+  /// flow bookkeeping can reference path channel lists in place instead of
+  /// copying them per flow.
+  const NetPath *pathRef(NodeId Src, NodeId Dst);
+
   /// \returns true when \p Src can reach \p Dst.
   bool reachable(NodeId Src, NodeId Dst);
 
 private:
+  const std::optional<NetPath> &lookup(NodeId Src, NodeId Dst);
   NetPath buildPath(NodeId Src, NodeId Dst,
                     const std::vector<ChannelId> &Channels) const;
 

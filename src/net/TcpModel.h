@@ -49,7 +49,8 @@ struct TcpConfig {
 /// Stateless throughput calculator shared by all flows.
 class TcpModel {
 public:
-  explicit TcpModel(TcpConfig Config = TcpConfig()) : Config(Config) {}
+  explicit TcpModel(TcpConfig Config = TcpConfig())
+      : Config(Config), Goodput(1.0 / (1.0 + Config.HeaderOverhead)) {}
 
   const TcpConfig &config() const { return Config; }
 
@@ -61,8 +62,9 @@ public:
   /// \returns the aggregate cap for \p Streams parallel streams.
   BitRate parallelCap(const NetPath &Path, unsigned Streams) const;
 
-  /// \returns the usable payload fraction of raw link capacity.
-  double goodputFactor() const { return 1.0 / (1.0 + Config.HeaderOverhead); }
+  /// \returns the usable payload fraction of raw link capacity
+  /// (precomputed once; this sits on the rebalance hot path).
+  double goodputFactor() const { return Goodput; }
 
   /// \returns the time to open \p Connections TCP connections in series
   /// batches (GridFTP opens the parallel data connections concurrently, so
@@ -74,6 +76,7 @@ public:
 
 private:
   TcpConfig Config;
+  double Goodput;
 };
 
 } // namespace dgsim

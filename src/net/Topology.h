@@ -77,6 +77,9 @@ public:
   /// \returns the link the channel belongs to.
   const NetLink &channelLink(ChannelId Ch) const { return link(Ch / 2); }
 
+  /// \returns the directed capacity of one channel (its link's capacity).
+  BitRate channelCapacity(ChannelId Ch) const { return link(Ch / 2).Capacity; }
+
   /// \returns the node a channel transmits from.
   NodeId channelSource(ChannelId Ch) const;
 

@@ -6,6 +6,7 @@
 
 #include "sim/Simulator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 
@@ -40,7 +41,8 @@ EventId Simulator::scheduleImpl(SimTime Time, bool Daemon,
   assert(Time >= Now && "cannot schedule into the past");
   EventId Id = NextId++;
   assert((Id & PeriodicTag) == 0 && "event id space exhausted");
-  Queue.push(QueuedEvent{Time, NextSeq++, Id, Daemon, std::move(Fn)});
+  Queue.push_back(QueuedEvent{Time, NextSeq++, Id, Daemon, std::move(Fn)});
+  std::push_heap(Queue.begin(), Queue.end(), std::greater<QueuedEvent>());
   Pending.insert(Id);
   if (Daemon)
     PendingDaemons.insert(Id);
@@ -57,15 +59,21 @@ bool Simulator::cancel(EventId Id) {
   return true;
 }
 
+Simulator::QueuedEvent Simulator::popEvent() {
+  std::pop_heap(Queue.begin(), Queue.end(), std::greater<QueuedEvent>());
+  QueuedEvent Ev = std::move(Queue.back());
+  Queue.pop_back();
+  return Ev;
+}
+
 void Simulator::executeUntil(SimTime Deadline, bool StopWhenOnlyDaemons) {
   StopRequested = false;
   while (!Queue.empty() && !StopRequested) {
     if (StopWhenOnlyDaemons && Pending.size() == PendingDaemons.size())
       break;
-    if (Queue.top().Time > Deadline)
+    if (Queue.front().Time > Deadline)
       break;
-    QueuedEvent Ev = Queue.top();
-    Queue.pop();
+    QueuedEvent Ev = popEvent();
     if (Pending.erase(Ev.Id) == 0)
       continue; // Cancelled.
     PendingDaemons.erase(Ev.Id);

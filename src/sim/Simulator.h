@@ -22,7 +22,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -112,6 +111,10 @@ private:
     }
   };
 
+  /// Pops the earliest event, moving it out of the heap (the closure is
+  /// never copied; flow churn schedules and cancels millions of these).
+  QueuedEvent popEvent();
+
   struct PeriodicState {
     SimTime Period;
     std::function<void()> Fn;
@@ -128,11 +131,12 @@ private:
   EventId NextId = 1;
   uint64_t Executed = 0;
   bool StopRequested = false;
-  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>,
-                      std::greater<QueuedEvent>>
-      Queue;
+  // Min-heap over (time, seq), managed with std::push_heap/std::pop_heap so
+  // pops can move the closure out instead of copying it.
+  std::vector<QueuedEvent> Queue;
   // Ids of events that are scheduled but have not fired or been cancelled.
-  // cancel() removes an id here; the queue entry is dropped lazily on pop.
+  // cancel() removes an id here in O(1); the queue entry is dropped lazily
+  // on pop, so cancel-heavy churn never reshuffles the heap.
   std::unordered_set<EventId> Pending;
   // The subset of Pending that are daemon events; run() exits when
   // Pending.size() == PendingDaemons.size().

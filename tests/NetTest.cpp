@@ -281,6 +281,104 @@ TEST(FairShare, ConservationAndNoOversubscription) {
   }
 }
 
+TEST(FairShare, WeightedMultiDemandSingleBottleneck) {
+  // Hand-solved water-filling on one bottleneck: caps freeze demands 0 and
+  // 1 early, then the remainder splits by weight.  Capacity 100; demands
+  // (cap 5, w 1), (cap 12, w 2), (inf, w 1), (inf, w 4).
+  FairShareWorkspace Ws;
+  Ws.clear();
+  uint32_t R0 = Ws.addResource(100.0);
+  double Caps[] = {5.0, 12.0, Inf, Inf};
+  double Weights[] = {1.0, 2.0, 1.0, 4.0};
+  for (int I = 0; I < 4; ++I) {
+    Ws.beginDemand(Caps[I], Weights[I]);
+    Ws.demandUses(R0);
+  }
+  Ws.solve();
+  // After the caps bind (5 + 12 = 17), 83 splits 1:4 over the remaining
+  // weights: 16.6 and 66.4.
+  EXPECT_DOUBLE_EQ(Ws.rate(0), 5.0);
+  EXPECT_DOUBLE_EQ(Ws.rate(1), 12.0);
+  EXPECT_NEAR(Ws.rate(2), 16.6, 1e-9);
+  EXPECT_NEAR(Ws.rate(3), 66.4, 1e-9);
+  EXPECT_TRUE(Ws.saturated(R0));
+}
+
+TEST(FairShare, ZeroCapacityResourceFreezesItsDemands) {
+  // A zero-capacity resource (an exhausted residual in the incremental
+  // rebalance) pins its demands at zero without touching the rest.
+  FairShareWorkspace Ws;
+  Ws.clear();
+  uint32_t Dead = Ws.addResource(0.0);
+  uint32_t Live = Ws.addResource(60.0);
+  Ws.beginDemand(Inf, 1.0);
+  Ws.demandUses(Dead);
+  Ws.beginDemand(Inf, 1.0);
+  Ws.demandUses(Dead);
+  Ws.demandUses(Live);
+  Ws.beginDemand(Inf, 1.0);
+  Ws.demandUses(Live);
+  Ws.solve();
+  EXPECT_DOUBLE_EQ(Ws.rate(0), 0.0);
+  EXPECT_DOUBLE_EQ(Ws.rate(1), 0.0);
+  EXPECT_NEAR(Ws.rate(2), 60.0, 1e-9);
+  EXPECT_TRUE(Ws.saturated(Dead));
+}
+
+TEST(FairShare, DisconnectedComponentsSolveIndependently) {
+  // Demands on disjoint resources never interact: each component's result
+  // matches its standalone solve.
+  FairShareWorkspace Ws;
+  Ws.clear();
+  uint32_t A = Ws.addResource(90.0);
+  uint32_t B = Ws.addResource(30.0);
+  Ws.beginDemand(Inf, 1.0);
+  Ws.demandUses(A);
+  Ws.beginDemand(Inf, 2.0);
+  Ws.demandUses(A);
+  Ws.beginDemand(10.0, 1.0);
+  Ws.demandUses(B);
+  Ws.beginDemand(Inf, 1.0);
+  Ws.demandUses(B);
+  Ws.solve();
+  EXPECT_NEAR(Ws.rate(0), 30.0, 1e-9);
+  EXPECT_NEAR(Ws.rate(1), 60.0, 1e-9);
+  EXPECT_NEAR(Ws.rate(2), 10.0, 1e-9);
+  EXPECT_NEAR(Ws.rate(3), 20.0, 1e-9);
+  EXPECT_TRUE(Ws.saturated(A));
+  EXPECT_TRUE(Ws.saturated(B));
+}
+
+TEST(FairShare, WorkspaceReusesAcrossProblems) {
+  // clear() must fully reset results and capacities between problems of
+  // different shapes (the FlowNetwork solves a different component every
+  // event through one workspace).
+  FairShareWorkspace Ws;
+  Ws.clear();
+  uint32_t R = Ws.addResource(100.0);
+  Ws.beginDemand(Inf, 1.0);
+  Ws.demandUses(R);
+  Ws.beginDemand(Inf, 1.0);
+  Ws.demandUses(R);
+  Ws.solve();
+  EXPECT_DOUBLE_EQ(Ws.rate(0), 50.0);
+
+  Ws.clear();
+  R = Ws.addResource(0.0); // Capacity discovered after assembly.
+  Ws.beginDemand(Inf, 3.0);
+  Ws.demandUses(R);
+  Ws.setResourceCapacity(R, 12.0);
+  Ws.solve();
+  ASSERT_EQ(Ws.demandCount(), 1u);
+  EXPECT_NEAR(Ws.rate(0), 12.0, 1e-12);
+  EXPECT_TRUE(Ws.saturated(R));
+
+  Ws.clear();
+  Ws.beginDemand(7.0, 1.0); // No listings: allocated exactly its cap.
+  Ws.solve();
+  EXPECT_DOUBLE_EQ(Ws.rate(0), 7.0);
+}
+
 //===----------------------------------------------------------------------===//
 // FlowNetwork
 //===----------------------------------------------------------------------===//
