@@ -58,10 +58,23 @@ inline void banner(const char *Title, const char *PaperArtifact) {
   std::printf("reproduces: %s\n\n", PaperArtifact);
 }
 
-/// Prints the pass/fail line for the qualitative paper-shape property.
+/// Whether any shapeCheck() so far failed (process-wide).
+inline bool &anyShapeFailure() {
+  static bool Failed = false;
+  return Failed;
+}
+
+/// Prints the pass/fail line for the qualitative paper-shape property and
+/// records failures; exitCode() turns them into the process exit status,
+/// so CI smoke entries gate on paper shapes without per-bench bookkeeping.
 inline void shapeCheck(bool Ok, const char *Property) {
+  if (!Ok)
+    anyShapeFailure() = true;
   std::printf("paper-shape check: [%s] %s\n", Ok ? "OK" : "FAIL", Property);
 }
+
+/// Process exit status: non-zero iff any paper-shape check failed.
+inline int exitCode() { return anyShapeFailure() ? 1 : 0; }
 
 } // namespace bench
 } // namespace dgsim

@@ -118,5 +118,5 @@ int main() {
                     "even with the slow server included");
   bench::shapeCheck(EqualSplitHurts,
                     "equal split is bound by the slowest server");
-  return FilteredWins && ProportionalNeverHurts && EqualSplitHurts ? 0 : 1;
+  return bench::exitCode();
 }

@@ -29,26 +29,19 @@
 
 #include "BenchUtil.h"
 
+#include "exp/Options.h"
 #include "grid/DynamicReplicator.h"
 #include "grid/Experiment.h"
 #include "replica/StorageElement.h"
-
-#include <map>
 
 using namespace dgsim;
 using namespace dgsim::units;
 
 namespace {
 
-struct EvictionRunResult {
-  double Phase1Transfer = 0.0; // Mean transfer, first workload.
-  double Phase2Transfer = 0.0; // Mean transfer after the shift.
-  uint64_t Replications = 0;
-  uint64_t Evictions = 0;
-};
-
-EvictionRunResult run(EvictionPolicy Policy, bool Admission) {
+exp::TrialResult run(EvictionPolicy Policy, bool Admission, uint64_t Seed) {
   PaperTestbedOptions O;
+  O.Seed = Seed;
   O.DynamicLoad = false;
   O.CrossTraffic = false;
   PaperTestbed T(O);
@@ -91,46 +84,58 @@ EvictionRunResult run(EvictionPolicy Policy, bool Admission) {
   };
 
   T.sim().runUntil(bench::WarmupSeconds);
-  EvictionRunResult Out;
-  Out.Phase1Transfer = RunPhase(Names); // ds-0/ds-1 hot.
+  exp::TrialResult Result;
+  Result.set("phase1_s", RunPhase(Names)); // ds-0/ds-1 hot.
   std::vector<std::string> Shifted(Names.rbegin(), Names.rend());
-  Out.Phase2Transfer = RunPhase(Shifted); // ds-4/ds-3 hot.
-  Out.Replications = Rep.replicationsCompleted();
-  Out.Evictions = SM.evictions();
-  return Out;
+  Result.set("phase2_s", RunPhase(Shifted)); // ds-4/ds-3 hot.
+  Result.set("replications",
+             static_cast<double>(Rep.replicationsCompleted()));
+  Result.set("evictions", static_cast<double>(SM.evictions()));
+  Result.SpecHash = T.grid().spec().hash();
+  return Result;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  exp::BenchOptions Opt =
+      exp::parseBenchOptions(argc, argv, "abl-eviction", /*BaseSeed=*/2005);
   bench::banner("Extension: eviction under a popularity shift",
                 "5 datasets through a 2-dataset store; frozen vs naive "
                 "LRU vs LRU+admission");
 
-  struct Config {
-    const char *Name;
-    EvictionPolicy Policy;
-    bool Admission;
+  exp::Scenario S;
+  S.Id = Opt.Id;
+  S.Title = "Eviction policies under a popularity shift";
+  S.Axes = {{"config", {"frozen", "naive-lru", "lru-admission"}}};
+  S.Seeds = Opt.seeds();
+  S.Metrics = {"phase1_s", "phase2_s", "replications", "evictions"};
+  S.Run = [](const exp::TrialPoint &P) {
+    const std::string &C = P.param("config");
+    if (C == "frozen")
+      return run(EvictionPolicy::None, /*Admission=*/true, P.Seed);
+    if (C == "naive-lru")
+      return run(EvictionPolicy::Lru, /*Admission=*/false, P.Seed);
+    return run(EvictionPolicy::Lru, /*Admission=*/true, P.Seed);
   };
-  const Config Configs[] = {
-      {"frozen (no eviction)", EvictionPolicy::None, true},
-      {"naive LRU", EvictionPolicy::Lru, false},
-      {"LRU + admission", EvictionPolicy::Lru, true},
-  };
+  std::vector<exp::TrialRecord> Records = exp::runScenario(S, Opt);
 
+  const char *Labels[] = {"frozen (no eviction)", "naive LRU",
+                          "LRU + admission"};
+  auto Mean = [&](const char *Config, const char *Metric) {
+    return exp::meanMetric(Records, "config", Config, Metric);
+  };
   Table T;
   T.setHeader({"configuration", "phase-1 transfer (s)",
                "phase-2 transfer (s)", "replications", "evictions"});
-  std::map<std::string, EvictionRunResult> Results;
-  for (const Config &C : Configs) {
-    Results[C.Name] = run(C.Policy, C.Admission);
-    const EvictionRunResult &R = Results[C.Name];
+  for (size_t I = 0; I < 3; ++I) {
+    const std::string &C = S.Axes[0].Values[I];
     T.beginRow();
-    T.add(std::string(C.Name));
-    T.add(R.Phase1Transfer, 1);
-    T.add(R.Phase2Transfer, 1);
-    T.add(static_cast<long long>(R.Replications));
-    T.add(static_cast<long long>(R.Evictions));
+    T.add(std::string(Labels[I]));
+    T.add(Mean(C.c_str(), "phase1_s"), 1);
+    T.add(Mean(C.c_str(), "phase2_s"), 1);
+    T.add(static_cast<long long>(Mean(C.c_str(), "replications")));
+    T.add(static_cast<long long>(Mean(C.c_str(), "evictions")));
   }
   T.print(stdout);
   std::printf("\n");
@@ -142,13 +147,11 @@ int main() {
   // naive eviction floods the 30 Mb/s access link with replication
   // traffic (observed 5x slowdowns in the overloaded regime), which is
   // precisely what admission control prevents.
-  const EvictionRunResult &Frozen = Results["frozen (no eviction)"];
-  const EvictionRunResult &Naive = Results["naive LRU"];
-  const EvictionRunResult &Adm = Results["LRU + admission"];
   bool NaiveAdaptsToShift =
-      Naive.Phase2Transfer < Frozen.Phase2Transfer * 0.9;
-  bool AdmissionChurnsLess = Adm.Evictions < Naive.Evictions;
-  bool FrozenNeverEvicts = Frozen.Evictions == 0;
+      Mean("naive-lru", "phase2_s") < Mean("frozen", "phase2_s") * 0.9;
+  bool AdmissionChurnsLess =
+      Mean("lru-admission", "evictions") < Mean("naive-lru", "evictions");
+  bool FrozenNeverEvicts = Mean("frozen", "evictions") == 0.0;
   bench::shapeCheck(NaiveAdaptsToShift,
                     "after the shift, LRU eviction beats the frozen store "
                     "by >10% (it hosts today's hot files)");
@@ -156,7 +159,5 @@ int main() {
                     "admission control evicts less than naive LRU "
                     "(thrash guard)");
   bench::shapeCheck(FrozenNeverEvicts, "the frozen store never evicts");
-  return NaiveAdaptsToShift && AdmissionChurnsLess && FrozenNeverEvicts
-             ? 0
-             : 1;
+  return bench::exitCode();
 }

@@ -16,14 +16,17 @@
 /// identically seeded testbed, and reports mean/95th-percentile transfer
 /// time and job completion time.
 ///
+/// Runs on the ExperimentRunner: `--seeds N --jobs M` sweeps N testbed
+/// seeds per policy in parallel; the summary table averages over seeds.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
+#include "exp/Options.h"
 #include "grid/Experiment.h"
 #include "support/Statistics.h"
 
-#include <map>
 #include <memory>
 
 using namespace dgsim;
@@ -31,17 +34,11 @@ using namespace dgsim::units;
 
 namespace {
 
-struct PolicyRun {
-  std::string Name;
-  double MeanTransfer = 0.0;
-  double P95Transfer = 0.0;
-  double MeanTotal = 0.0;
-};
-
-PolicyRun runPolicy(const std::string &Which) {
-  PaperTestbed T; // Dynamic load + cross traffic.
+exp::TrialResult runPolicy(const std::string &Which, uint64_t Seed) {
+  PaperTestbedOptions O;
+  O.Seed = Seed;
+  PaperTestbed T(O); // Dynamic load + cross traffic.
   // A small catalogue of large files spread over the grid.
-  ReplicaCatalog &Cat = T.grid().catalog();
   struct FileSpec {
     const char *Lfn;
     double SizeMB;
@@ -54,9 +51,11 @@ PolicyRun runPolicy(const std::string &Which) {
       {"archive-03", 256, {"lz01", "hit0"}},
   };
   for (const FileSpec &F : Files) {
-    Cat.registerFile(F.Lfn, megabytes(F.SizeMB));
-    for (const char *H : F.Holders)
-      Cat.addReplica(F.Lfn, *T.grid().findHost(H));
+    CatalogFileSpec C;
+    C.Lfn = F.Lfn;
+    C.SizeBytes = megabytes(F.SizeMB);
+    C.ReplicaHosts = {F.Holders[0], F.Holders[1]};
+    T.grid().registerCatalogFile(C);
   }
 
   std::unique_ptr<SelectionPolicy> Policy;
@@ -71,7 +70,7 @@ PolicyRun runPolicy(const std::string &Which) {
   else
     Policy = std::make_unique<RandomPolicy>(RandomEngine(12345));
 
-  ReplicaSelector Sel(Cat, T.grid().info(), *Policy);
+  ReplicaSelector Sel(T.grid().catalog(), T.grid().info(), *Policy);
   WorkloadConfig W;
   W.JobCount = 40;
   W.MeanInterarrival = 45.0;
@@ -89,52 +88,64 @@ PolicyRun runPolicy(const std::string &Which) {
     if (!R.LocalHit)
       Transfers.push_back(R.transferSeconds());
 
-  PolicyRun Out;
-  Out.Name = Which;
-  Out.MeanTransfer = S.TransferSeconds.mean();
-  Out.P95Transfer = stats::percentile(Transfers, 0.95);
-  Out.MeanTotal = S.TotalSeconds.mean();
-  return Out;
+  exp::TrialResult Result;
+  Result.set("mean_transfer_s", S.TransferSeconds.mean());
+  Result.set("p95_transfer_s", stats::percentile(Transfers, 0.95));
+  Result.set("mean_job_s", S.TotalSeconds.mean());
+  Result.SpecHash = T.grid().spec().hash();
+  return Result;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  exp::BenchOptions Opt =
+      exp::parseBenchOptions(argc, argv, "abl-policies", /*BaseSeed=*/2005);
   bench::banner("Ablation: selection policy comparison",
                 "extends Table 1 to a dynamic Poisson/Zipf workload "
                 "(paper future work: dynamic environments)");
 
-  const char *Policies[] = {"cost-model", "bandwidth-only",
-                            "least-loaded-cpu", "round-robin", "random"};
+  exp::Scenario S;
+  S.Id = Opt.Id;
+  S.Title = "Replica selection policy comparison, dynamic workload";
+  S.Axes = {{"policy",
+             {"cost-model", "bandwidth-only", "least-loaded-cpu",
+              "round-robin", "random"}}};
+  S.Seeds = Opt.seeds();
+  S.Metrics = {"mean_transfer_s", "p95_transfer_s", "mean_job_s"};
+  S.Run = [](const exp::TrialPoint &P) {
+    return runPolicy(P.param("policy"), P.Seed);
+  };
+
+  std::vector<exp::TrialRecord> Records = exp::runScenario(S, Opt);
+
   Table T;
   T.setHeader({"policy", "mean transfer (s)", "p95 transfer (s)",
                "mean job time (s)"});
-  std::map<std::string, PolicyRun> Runs;
-  for (const char *P : Policies) {
-    PolicyRun R = runPolicy(P);
-    Runs[P] = R;
+  auto Mean = [&](const std::string &Policy, const char *Metric) {
+    return exp::meanMetric(Records, "policy", Policy, Metric);
+  };
+  for (const std::string &P : S.Axes[0].Values) {
     T.beginRow();
-    T.add(R.Name);
-    T.add(R.MeanTransfer, 1);
-    T.add(R.P95Transfer, 1);
-    T.add(R.MeanTotal, 1);
+    T.add(P);
+    T.add(Mean(P, "mean_transfer_s"), 1);
+    T.add(Mean(P, "p95_transfer_s"), 1);
+    T.add(Mean(P, "mean_job_s"), 1);
   }
   T.print(stdout);
   std::printf("\n");
 
-  bool BeatsBlind =
-      Runs["cost-model"].MeanTransfer < Runs["random"].MeanTransfer &&
-      Runs["cost-model"].MeanTransfer < Runs["round-robin"].MeanTransfer &&
-      Runs["cost-model"].MeanTransfer <
-          Runs["least-loaded-cpu"].MeanTransfer;
+  double CostModel = Mean("cost-model", "mean_transfer_s");
+  bool BeatsBlind = CostModel < Mean("random", "mean_transfer_s") &&
+                    CostModel < Mean("round-robin", "mean_transfer_s") &&
+                    CostModel < Mean("least-loaded-cpu", "mean_transfer_s");
   bool NearBandwidthOnly =
-      Runs["cost-model"].MeanTransfer <
-      Runs["bandwidth-only"].MeanTransfer * 1.10;
+      CostModel < Mean("bandwidth-only", "mean_transfer_s") * 1.10;
   bench::shapeCheck(BeatsBlind,
                     "cost model beats random, round-robin and CPU-greedy "
                     "on mean transfer time");
   bench::shapeCheck(NearBandwidthOnly,
                     "cost model within 10% of bandwidth-only (bandwidth "
                     "dominates, as the 80/10/10 weights assume)");
-  return BeatsBlind && NearBandwidthOnly ? 0 : 1;
+  return bench::exitCode();
 }

@@ -121,5 +121,5 @@ int main() {
   bench::shapeCheck(GridFtpCheap,
                     "GridFTP restart costs <5% regardless of when the "
                     "failure hits");
-  return FtpWastesProgress && GridFtpCheap ? 0 : 1;
+  return bench::exitCode();
 }

@@ -124,5 +124,5 @@ int main() {
   bench::shapeCheck(Converges,
                     "second-half fetches are faster than first-half "
                     "(replicas arrived where the demand is)");
-  return Replicated && Faster && Converges ? 0 : 1;
+  return bench::exitCode();
 }

@@ -22,28 +22,24 @@
 
 #include "BenchUtil.h"
 
+#include "exp/Options.h"
 #include "grid/DataGrid.h"
 #include "replica/ReplicaSelector.h"
 #include "support/Statistics.h"
 
 #include <algorithm>
-#include <map>
+#include <cstdlib>
 
 using namespace dgsim;
 using namespace dgsim::units;
 
 namespace {
 
-struct StalenessResult {
-  double MeanTransfer = 0.0;
-  double WrongChoiceRate = 0.0;
-};
-
-StalenessResult run(SimTime Period) {
+exp::TrialResult run(SimTime Period, uint64_t Seed) {
   InformationServiceConfig Info;
   Info.BandwidthPeriod = Period;
   Info.HostPeriod = Period;
-  DataGrid G(/*Seed=*/404, Info);
+  DataGrid G(Seed, Info);
 
   SiteConfig Client;
   Client.Name = "client-site";
@@ -96,7 +92,6 @@ StalenessResult run(SimTime Period) {
   ReplicaSelector Sel(G.catalog(), G.info(), Policy);
 
   // Serial fetches every 240 s; oracle = busy-ness at decision time.
-  StalenessResult Out;
   size_t Wrong = 0;
   RunningStats Times;
   constexpr int Fetches = 30;
@@ -120,43 +115,57 @@ StalenessResult run(SimTime Period) {
     G.sim().run();
     Times.add(Seconds);
   }
-  Out.MeanTransfer = Times.mean();
-  Out.WrongChoiceRate = static_cast<double>(Wrong) / Fetches;
-  return Out;
+  exp::TrialResult Result;
+  Result.set("wrong_rate", static_cast<double>(Wrong) / Fetches);
+  Result.set("mean_transfer_s", Times.mean());
+  Result.SpecHash = G.spec().hash();
+  return Result;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  exp::BenchOptions Opt =
+      exp::parseBenchOptions(argc, argv, "abl-staleness", /*BaseSeed=*/404);
   bench::banner("Ablation: monitoring staleness",
                 "sensor refresh period vs selection quality when bursty "
                 "server I/O decides the better mirror");
 
+  exp::Scenario S;
+  S.Id = Opt.Id;
+  S.Title = "Sensor refresh period vs selection quality";
+  S.Axes = {{"period_s", {"5", "60", "600"}}};
+  S.Seeds = Opt.seeds();
+  S.Metrics = {"wrong_rate", "mean_transfer_s"};
+  S.Run = [](const exp::TrialPoint &P) {
+    return run(std::atof(P.param("period_s").c_str()), P.Seed);
+  };
+  std::vector<exp::TrialRecord> Records = exp::runScenario(S, Opt);
+
   Table T;
   T.setHeader({"refresh period", "wrong-choice rate", "mean transfer (s)"});
-  std::map<double, StalenessResult> Results;
-  for (SimTime Period : {5.0, 60.0, 600.0}) {
-    Results[Period] = run(Period);
+  auto Mean = [&](const char *Period, const char *Metric) {
+    return exp::meanMetric(Records, "period_s", Period, Metric);
+  };
+  for (const std::string &Period : S.Axes[0].Values) {
     T.beginRow();
-    char Buf[32];
-    std::snprintf(Buf, sizeof(Buf), "%.0f s", Period);
-    T.add(std::string(Buf));
-    T.add(Results[Period].WrongChoiceRate, 2);
-    T.add(Results[Period].MeanTransfer, 1);
+    T.add(Period + " s");
+    T.add(Mean(Period.c_str(), "wrong_rate"), 2);
+    T.add(Mean(Period.c_str(), "mean_transfer_s"), 1);
   }
   T.print(stdout);
   std::printf("\n");
 
-  bool FreshTracksBursts = Results[5.0].WrongChoiceRate <= 0.2;
-  bool StaleMisRanks = Results[600.0].WrongChoiceRate >
-                       Results[5.0].WrongChoiceRate + 0.1;
-  bool StaleCostsTime = Results[600.0].MeanTransfer >
-                        Results[5.0].MeanTransfer * 1.1;
+  bool FreshTracksBursts = Mean("5", "wrong_rate") <= 0.2;
+  bool StaleMisRanks =
+      Mean("600", "wrong_rate") > Mean("5", "wrong_rate") + 0.1;
+  bool StaleCostsTime =
+      Mean("600", "mean_transfer_s") > Mean("5", "mean_transfer_s") * 1.1;
   bench::shapeCheck(FreshTracksBursts,
                     "5 s sensors route around busy disks (<20% wrong)");
   bench::shapeCheck(StaleMisRanks,
                     "10-minute-old data mis-ranks mirrors far more often");
   bench::shapeCheck(StaleCostsTime,
                     "stale data costs real transfer time (>10%)");
-  return FreshTracksBursts && StaleMisRanks && StaleCostsTime ? 0 : 1;
+  return bench::exitCode();
 }

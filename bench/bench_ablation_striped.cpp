@@ -94,5 +94,5 @@ int main() {
                     "gains flatten once the single destination disk binds");
   bench::shapeCheck(LzFlat,
                     "striping cannot beat the Li-Zen 30 Mb/s bottleneck");
-  return ThuScales && ThuCeiling && LzFlat ? 0 : 1;
+  return bench::exitCode();
 }

@@ -16,15 +16,20 @@
 /// theoretical bandwidth" (client-access vs per-path), showing the literal
 /// per-path reading can invert the ranking on heterogeneous links.
 ///
+/// Runs on the ExperimentRunner as two scenarios: the weight sweep writes
+/// BENCH_abl-weights.json, the normalisation comparison
+/// BENCH_abl-weights-norm.json.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
+#include "exp/Options.h"
 #include "grid/Experiment.h"
 #include "replica/ReplicaSelector.h"
 #include "support/Statistics.h"
 
-#include <map>
+#include <cstdlib>
 #include <vector>
 
 using namespace dgsim;
@@ -32,8 +37,10 @@ using namespace dgsim::units;
 
 namespace {
 
-double runWorkloadMeanTransfer(CostWeights W) {
-  PaperTestbed T;
+double runWorkloadMeanTransfer(CostWeights W, uint64_t Seed) {
+  PaperTestbedOptions O;
+  O.Seed = Seed;
+  PaperTestbed T(O);
   T.publishFileA();
   ReplicaCatalog &Cat = T.grid().catalog();
   Cat.registerFile("event-set", megabytes(512));
@@ -63,8 +70,9 @@ struct RankData {
   std::vector<double> Seconds;
 };
 
-RankData rankData(CostWeights W, BwNormalization Norm) {
+RankData rankData(CostWeights W, BwNormalization Norm, uint64_t Seed) {
   PaperTestbedOptions O;
+  O.Seed = Seed;
   O.Info.Normalization = Norm;
   PaperTestbed T(O);
   T.publishFileA();
@@ -77,6 +85,7 @@ RankData rankData(CostWeights W, BwNormalization Norm) {
     D.Scores.push_back(C.Score);
     // Measure each candidate serially on a fresh testbed.
     PaperTestbedOptions MO;
+    MO.Seed = Seed;
     PaperTestbed M(MO);
     M.sim().runUntil(bench::WarmupSeconds);
     TransferSpec Spec;
@@ -94,61 +103,100 @@ RankData rankData(CostWeights W, BwNormalization Norm) {
   return D;
 }
 
+CostWeights weightsFor(double Wb) {
+  CostWeights W;
+  W.Bandwidth = Wb;
+  W.Cpu = (1.0 - Wb) / 2.0;
+  W.Io = (1.0 - Wb) / 2.0;
+  return W;
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  exp::BenchOptions Opt =
+      exp::parseBenchOptions(argc, argv, "abl-weights", /*BaseSeed=*/2005);
   bench::banner("Ablation: cost-model weights and P^BW normalisation",
                 "paper future work: \"how to determine the system factors "
                 "weight\"");
 
+  // Scenario 1: bandwidth-weight sweep.
+  exp::Scenario Sw;
+  Sw.Id = Opt.Id;
+  Sw.Title = "Cost-model bandwidth-weight sweep";
+  Sw.Axes = {{"w_bw", {"0.0", "0.2", "0.4", "0.6", "0.8", "1.0"}}};
+  Sw.Seeds = Opt.seeds();
+  Sw.Metrics = {"mean_transfer_s", "rank_tau"};
+  Sw.Run = [](const exp::TrialPoint &P) {
+    double Wb = std::atof(P.param("w_bw").c_str());
+    CostWeights W = weightsFor(Wb);
+    exp::TrialResult R;
+    R.set("mean_transfer_s", runWorkloadMeanTransfer(W, P.Seed));
+    RankData D = rankData(W, BwNormalization::ClientAccess, P.Seed);
+    // Score should anti-correlate with transfer time: report -tau so a
+    // perfect model scores +1.
+    R.set("rank_tau", -stats::kendallTau(D.Scores, D.Seconds));
+    R.SpecHash = PaperTestbed::spec({}).hash();
+    return R;
+  };
+  std::vector<exp::TrialRecord> SwRecords = exp::runScenario(Sw, Opt);
+
   Table Sweep;
   Sweep.setHeader({"W_bw", "W_cpu", "W_io", "mean transfer (s)",
                    "rank corr (tau)"});
-  std::map<double, double> MeanBy;
-  for (double Wb : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
-    CostWeights W;
-    W.Bandwidth = Wb;
-    W.Cpu = (1.0 - Wb) / 2.0;
-    W.Io = (1.0 - Wb) / 2.0;
-    double Mean = runWorkloadMeanTransfer(W);
-    MeanBy[Wb] = Mean;
-    RankData D = rankData(W, BwNormalization::ClientAccess);
-    // Score should anti-correlate with transfer time: report -tau so a
-    // perfect model scores +1.
-    double Tau = -stats::kendallTau(D.Scores, D.Seconds);
+  for (const std::string &V : Sw.Axes[0].Values) {
+    CostWeights W = weightsFor(std::atof(V.c_str()));
     Sweep.beginRow();
     Sweep.add(W.Bandwidth, 2);
     Sweep.add(W.Cpu, 2);
     Sweep.add(W.Io, 2);
-    Sweep.add(Mean, 1);
-    Sweep.add(Tau, 2);
+    Sweep.add(exp::meanMetric(SwRecords, "w_bw", V, "mean_transfer_s"), 1);
+    Sweep.add(exp::meanMetric(SwRecords, "w_bw", V, "rank_tau"), 2);
   }
   Sweep.print(stdout);
   std::printf("\n");
 
-  // Normalisation comparison at the paper's weights.
+  // Scenario 2: normalisation comparison at the paper's weights.
+  exp::BenchOptions NormOpt = Opt;
+  NormOpt.Id = "abl-weights-norm";
+  NormOpt.JsonPath.clear(); // Default path BENCH_abl-weights-norm.json.
+  exp::Scenario Sn;
+  Sn.Id = NormOpt.Id;
+  Sn.Title = "P^BW normalisation comparison at paper weights";
+  Sn.Axes = {{"norm", {"client-access", "per-path"}}};
+  Sn.Seeds = Opt.seeds();
+  Sn.Metrics = {"rank_tau"};
+  Sn.Run = [](const exp::TrialPoint &P) {
+    BwNormalization N = P.param("norm") == "per-path"
+                            ? BwNormalization::PerPath
+                            : BwNormalization::ClientAccess;
+    RankData D = rankData(CostWeights(), N, P.Seed);
+    exp::TrialResult R;
+    R.set("rank_tau", -stats::kendallTau(D.Scores, D.Seconds));
+    return R;
+  };
+  std::vector<exp::TrialRecord> SnRecords = exp::runScenario(Sn, NormOpt);
+
   Table Norm;
   Norm.setHeader({"P_bw normalisation", "rank corr (tau)"});
-  std::map<std::string, double> TauBy;
-  for (auto [Name, N] :
-       std::initializer_list<std::pair<const char *, BwNormalization>>{
-           {"client-access", BwNormalization::ClientAccess},
-           {"per-path", BwNormalization::PerPath}}) {
-    RankData D = rankData(CostWeights(), N);
-    TauBy[Name] = -stats::kendallTau(D.Scores, D.Seconds);
+  for (const std::string &V : Sn.Axes[0].Values) {
     Norm.beginRow();
-    Norm.add(std::string(Name));
-    Norm.add(TauBy[Name], 2);
+    Norm.add(V);
+    Norm.add(exp::meanMetric(SnRecords, "norm", V, "rank_tau"), 2);
   }
   Norm.print(stdout);
   std::printf("\n");
 
-  bool BwHelps = MeanBy[0.8] < MeanBy[0.0];
+  auto SweepMean = [&](const char *V) {
+    return exp::meanMetric(SwRecords, "w_bw", V, "mean_transfer_s");
+  };
+  bool BwHelps = SweepMean("0.8") < SweepMean("0.0");
   bool PaperNearBest = true;
-  for (auto &[Wb, Mean] : MeanBy)
-    PaperNearBest &= MeanBy[0.8] <= Mean * 1.10;
+  for (const std::string &V : Sw.Axes[0].Values)
+    PaperNearBest &= SweepMean("0.8") <= SweepMean(V.c_str()) * 1.10;
   bool ClientAccessRanksBetter =
-      TauBy["client-access"] > TauBy["per-path"];
+      exp::meanMetric(SnRecords, "norm", "client-access", "rank_tau") >
+      exp::meanMetric(SnRecords, "norm", "per-path", "rank_tau");
   bench::shapeCheck(BwHelps, "bandwidth-aware weights beat bandwidth-blind "
                              "weights on mean transfer time");
   bench::shapeCheck(PaperNearBest,
@@ -157,5 +205,5 @@ int main() {
   bench::shapeCheck(ClientAccessRanksBetter,
                     "client-access P^BW normalisation ranks replicas "
                     "better than the literal per-path reading");
-  return BwHelps && PaperNearBest && ClientAccessRanksBetter ? 0 : 1;
+  return bench::exitCode();
 }

@@ -101,5 +101,5 @@ int main() {
                     "1 Gb/s access at THU and HIT, 30 Mb/s at Li-Zen");
   bench::shapeCheck(CpuOrder,
                     "CPU speed order: P4 2.8 > AthlonMP 2.0 > Celeron 900");
-  return ThreeSitesOfFour && AccessRates && CpuOrder ? 0 : 1;
+  return bench::exitCode();
 }

@@ -17,18 +17,59 @@
 
 #include "BenchUtil.h"
 
+#include "exp/Options.h"
+
+#include <cstdlib>
+
 using namespace dgsim;
 using namespace dgsim::units;
 
-int main() {
+int main(int argc, char **argv) {
+  exp::BenchOptions Opt =
+      exp::parseBenchOptions(argc, argv, "fig3", /*BaseSeed=*/2005);
   bench::banner("Fig 3: FTP versus GridFTP",
                 "file transfer time, THU alpha1 -> HIT hit3, stream mode");
 
-  PaperTestbedOptions Options;
-  Options.DynamicLoad = false; // The paper measured on a quiet testbed.
-  Options.CrossTraffic = false;
+  exp::Scenario S;
+  S.Id = Opt.Id;
+  S.Title = "Fig 3: FTP vs GridFTP stream-mode transfer time";
+  std::vector<std::string> Sizes = {"256", "512", "1024", "2048"};
+  if (Opt.Quick)
+    Sizes = {"256", "512"};
+  S.Axes = {{"size_mb", Sizes}, {"protocol", {"ftp", "gridftp-stream"}}};
+  S.Seeds = Opt.seeds();
+  S.Metrics = {"transfer_s", "throughput_mbps"};
+  S.Run = [](const exp::TrialPoint &P) {
+    PaperTestbedOptions Options;
+    Options.Seed = P.Seed;
+    Options.DynamicLoad = false; // The paper measured on a quiet testbed.
+    Options.CrossTraffic = false;
+    TransferProtocol Protocol = P.param("protocol") == "ftp"
+                                    ? TransferProtocol::Ftp
+                                    : TransferProtocol::GridFtpStream;
+    TransferResult R = bench::runSingleTransfer(
+        Options, "alpha1", "hit3",
+        megabytes(std::atof(P.param("size_mb").c_str())), Protocol, 1);
+    exp::TrialResult Result;
+    Result.set("transfer_s", R.totalSeconds());
+    Result.set("throughput_mbps", R.meanThroughput() / 1e6);
+    Result.SpecHash = PaperTestbed::spec(Options).hash();
+    return Result;
+  };
+  std::vector<exp::TrialRecord> Records = exp::runScenario(S, Opt);
 
-  const double SizesMB[] = {256, 512, 1024, 2048};
+  auto Mean = [&](const std::string &Size, const char *Protocol,
+                  const char *Metric) {
+    double Sum = 0.0;
+    size_t Count = 0;
+    for (const exp::TrialRecord &R : Records)
+      if (R.Point.param("size_mb") == Size &&
+          R.Point.param("protocol") == Protocol) {
+        Sum += R.Result.get(Metric);
+        ++Count;
+      }
+    return Sum / static_cast<double>(Count);
+  };
 
   Table T;
   T.setHeader({"file size", "FTP (s)", "GridFTP (s)", "GridFTP/FTP",
@@ -36,25 +77,20 @@ int main() {
   bool SimilarEverywhere = true;
   bool MonotoneFtp = true;
   double PrevFtp = 0.0;
-  for (double MB : SizesMB) {
-    TransferResult Ftp = bench::runSingleTransfer(
-        Options, "alpha1", "hit3", megabytes(MB), TransferProtocol::Ftp, 1);
-    TransferResult Grid =
-        bench::runSingleTransfer(Options, "alpha1", "hit3", megabytes(MB),
-                                 TransferProtocol::GridFtpStream, 1);
+  for (const std::string &Size : Sizes) {
+    double Ftp = Mean(Size, "ftp", "transfer_s");
+    double Grid = Mean(Size, "gridftp-stream", "transfer_s");
     T.beginRow();
-    T.add(fmt::bytes(megabytes(MB)));
-    T.add(Ftp.totalSeconds(), 1);
-    T.add(Grid.totalSeconds(), 1);
-    T.add(Grid.totalSeconds() / Ftp.totalSeconds(), 3);
-    T.add(Ftp.meanThroughput() / 1e6, 1);
-    T.add(Grid.meanThroughput() / 1e6, 1);
+    T.add(fmt::bytes(megabytes(std::atof(Size.c_str()))));
+    T.add(Ftp, 1);
+    T.add(Grid, 1);
+    T.add(Grid / Ftp, 3);
+    T.add(Mean(Size, "ftp", "throughput_mbps"), 1);
+    T.add(Mean(Size, "gridftp-stream", "throughput_mbps"), 1);
 
-    SimilarEverywhere &=
-        Grid.totalSeconds() < Ftp.totalSeconds() * 1.15 &&
-        Grid.totalSeconds() > Ftp.totalSeconds() * 0.95;
-    MonotoneFtp &= Ftp.totalSeconds() > PrevFtp;
-    PrevFtp = Ftp.totalSeconds();
+    SimilarEverywhere &= Grid < Ftp * 1.15 && Grid > Ftp * 0.95;
+    MonotoneFtp &= Ftp > PrevFtp;
+    PrevFtp = Ftp;
   }
   T.print(stdout);
   std::printf("\n");
@@ -62,5 +98,5 @@ int main() {
                     "GridFTP within [0.95x, 1.15x] of FTP at every size "
                     "(paper: \"the data transfer time is similar\")");
   bench::shapeCheck(MonotoneFtp, "transfer time grows with file size");
-  return SimilarEverywhere && MonotoneFtp ? 0 : 1;
+  return bench::exitCode();
 }

@@ -104,5 +104,5 @@ int main() {
                     "costs vary over time (dynamic network situations)");
   bench::shapeCheck(OrderStable,
                     "time-averaged sorted list: alpha4 best, lz02 worst");
-  return AllSampled && CostsMove && OrderStable ? 0 : 1;
+  return bench::exitCode();
 }

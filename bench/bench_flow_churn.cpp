@@ -191,5 +191,5 @@ int main() {
   bench::shapeCheck(Scales,
                     "churn throughput degrades sublinearly from 1k to 10k "
                     "concurrent flows");
-  return Exact && Incremental && Scales ? 0 : 1;
+  return bench::exitCode();
 }

@@ -21,9 +21,9 @@
 
 #include "BenchUtil.h"
 
+#include "exp/Options.h"
 #include "replica/ReplicaSelector.h"
 
-#include <map>
 #include <vector>
 
 using namespace dgsim;
@@ -31,36 +31,14 @@ using namespace dgsim::units;
 
 namespace {
 
-/// Measures the actual fetch time of file-a from one candidate to alpha1 on
-/// a fresh (identically seeded) dynamic testbed.  alpha1 itself is a local
-/// access: no transfer, reported as 0.
-double measureFetchSeconds(const std::string &Source) {
-  if (Source == "alpha1")
-    return 0.0;
+/// Scores every Table 1 candidate on a fresh dynamic testbed and measures
+/// the actual fetch of file-a from \p Candidate to alpha1 on a second,
+/// identically seeded one.  alpha1 itself is a local access: no transfer,
+/// reported as 0.
+exp::TrialResult runCandidate(const std::string &Candidate, uint64_t Seed) {
   PaperTestbedOptions Options; // Dynamic load + cross traffic, as deployed.
+  Options.Seed = Seed;
   PaperTestbed T(Options);
-  T.sim().runUntil(bench::WarmupSeconds);
-  TransferSpec Spec;
-  Spec.Source = T.grid().findHost(Source);
-  Spec.Destination = &T.alpha(1);
-  Spec.FileBytes = megabytes(1024);
-  Spec.Protocol = TransferProtocol::GridFtpModeE;
-  Spec.Streams = 8;
-  double Seconds = 0.0;
-  T.grid().transfers().submit(
-      Spec, [&](const TransferResult &R) { Seconds = R.totalSeconds(); });
-  T.sim().run();
-  return Seconds;
-}
-
-} // namespace
-
-int main() {
-  bench::banner("Table 1: replica selection cost model vs transfer time",
-                "P^BW, P^CPU, P^IO, Eq.(1) score and measured GridFTP "
-                "fetch time of file-a (1024 MB) to alpha1");
-
-  PaperTestbed T; // Dynamic, with cross traffic.
   T.publishFileA();
   // The paper's scenario also lists the local candidate.
   T.grid().catalog().addReplica(PaperTestbed::FileA, T.alpha(1));
@@ -68,46 +46,108 @@ int main() {
 
   CostModelPolicy Policy; // 0.8 / 0.1 / 0.1
   ReplicaSelector Selector(T.grid().catalog(), T.grid().info(), Policy);
-  auto Reports = Selector.scoreAll(T.alpha(1).node(), PaperTestbed::FileA);
+  exp::TrialResult Result;
+  for (const CandidateReport &C :
+       Selector.scoreAll(T.alpha(1).node(), PaperTestbed::FileA)) {
+    if (C.Candidate->name() != Candidate)
+      continue;
+    Result.set("p_bw", C.Factors.BwFraction);
+    Result.set("p_cpu", C.Factors.CpuIdle);
+    Result.set("p_io", C.Factors.IoIdle);
+    Result.set("score", C.Score);
+  }
 
+  double Seconds = 0.0;
+  if (Candidate != "alpha1") {
+    PaperTestbedOptions MO;
+    MO.Seed = Seed;
+    PaperTestbed M(MO);
+    M.sim().runUntil(bench::WarmupSeconds);
+    TransferSpec Spec;
+    Spec.Source = M.grid().findHost(Candidate);
+    Spec.Destination = &M.alpha(1);
+    Spec.FileBytes = megabytes(1024);
+    Spec.Protocol = TransferProtocol::GridFtpModeE;
+    Spec.Streams = 8;
+    M.grid().transfers().submit(
+        Spec, [&](const TransferResult &R) { Seconds = R.totalSeconds(); });
+    M.sim().run();
+  }
+  Result.set("transfer_s", Seconds);
+  Result.SpecHash = T.grid().spec().hash();
+  return Result;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  exp::BenchOptions Opt =
+      exp::parseBenchOptions(argc, argv, "tab1", /*BaseSeed=*/2005);
+  bench::banner("Table 1: replica selection cost model vs transfer time",
+                "P^BW, P^CPU, P^IO, Eq.(1) score and measured GridFTP "
+                "fetch time of file-a (1024 MB) to alpha1");
+
+  exp::Scenario S;
+  S.Id = Opt.Id;
+  S.Title = "Table 1: cost model scores vs measured transfer times";
+  S.Axes = {{"candidate", {"alpha1", "alpha4", "hit0", "lz02"}}};
+  S.Seeds = Opt.seeds();
+  S.Metrics = {"p_bw", "p_cpu", "p_io", "score", "transfer_s"};
+  S.Run = [](const exp::TrialPoint &P) {
+    return runCandidate(P.param("candidate"), P.Seed);
+  };
+  std::vector<exp::TrialRecord> Records = exp::runScenario(S, Opt);
+
+  auto Mean = [&](const char *Candidate, const char *Metric) {
+    return exp::meanMetric(Records, "candidate", Candidate, Metric);
+  };
   Table Out;
   Out.setHeader({"candidate", "P_bw", "P_cpu", "P_io", "score",
                  "transfer (s)"});
-  std::map<std::string, double> Score, Seconds;
-  for (const CandidateReport &C : Reports) {
-    const std::string &Name = C.Candidate->name();
-    Score[Name] = C.Score;
-    Seconds[Name] = measureFetchSeconds(Name);
+  for (const std::string &Name : S.Axes[0].Values) {
     Out.beginRow();
     Out.add(Name);
-    Out.add(C.Factors.BwFraction, 3);
-    Out.add(C.Factors.CpuIdle, 3);
-    Out.add(C.Factors.IoIdle, 3);
-    Out.add(C.Score, 3);
+    Out.add(Mean(Name.c_str(), "p_bw"), 3);
+    Out.add(Mean(Name.c_str(), "p_cpu"), 3);
+    Out.add(Mean(Name.c_str(), "p_io"), 3);
+    Out.add(Mean(Name.c_str(), "score"), 3);
     if (Name == "alpha1")
       Out.add("local");
     else
-      Out.add(Seconds[Name], 1);
+      Out.add(Mean(Name.c_str(), "transfer_s"), 1);
   }
   Out.print(stdout);
   std::printf("\n");
 
-  SelectionResult Sel = Selector.select(T.alpha(1).node(),
-                                        PaperTestbed::FileA);
-  std::printf("selection server chose: %s%s\n\n", Sel.Chosen->name().c_str(),
-              Sel.LocalHit ? " (local hit, no transfer)" : "");
+  // The selection-server decision itself, on the base-seed testbed.
+  {
+    PaperTestbedOptions Options;
+    Options.Seed = Opt.BaseSeed;
+    PaperTestbed T(Options);
+    T.publishFileA();
+    T.grid().catalog().addReplica(PaperTestbed::FileA, T.alpha(1));
+    T.sim().runUntil(bench::WarmupSeconds);
+    CostModelPolicy Policy;
+    ReplicaSelector Selector(T.grid().catalog(), T.grid().info(), Policy);
+    SelectionResult Sel =
+        Selector.select(T.alpha(1).node(), PaperTestbed::FileA);
+    std::printf("selection server chose: %s%s\n\n",
+                Sel.Chosen->name().c_str(),
+                Sel.LocalHit ? " (local hit, no transfer)" : "");
+    bench::shapeCheck(Sel.LocalHit,
+                      "local replica short-circuits selection");
+  }
 
-  bool LocalBest = Sel.LocalHit;
-  bool ScoreOrder = Score["alpha1"] > Score["alpha4"] &&
-                    Score["alpha4"] > Score["hit0"] &&
-                    Score["hit0"] > Score["lz02"];
-  bool TimeOrder = Seconds["alpha4"] < Seconds["hit0"] &&
-                   Seconds["hit0"] < Seconds["lz02"];
-  bench::shapeCheck(LocalBest, "local replica short-circuits selection");
+  bool ScoreOrder = Mean("alpha1", "score") > Mean("alpha4", "score") &&
+                    Mean("alpha4", "score") > Mean("hit0", "score") &&
+                    Mean("hit0", "score") > Mean("lz02", "score");
+  bool TimeOrder =
+      Mean("alpha4", "transfer_s") < Mean("hit0", "transfer_s") &&
+      Mean("hit0", "transfer_s") < Mean("lz02", "transfer_s");
   bench::shapeCheck(ScoreOrder,
                     "score order alpha1 > alpha4 > hit0 > lz02");
   bench::shapeCheck(TimeOrder,
                     "transfer-time order alpha4 < hit0 < lz02 (score "
                     "ranking matches measured ranking, as in Table 1)");
-  return LocalBest && ScoreOrder && TimeOrder ? 0 : 1;
+  return bench::exitCode();
 }

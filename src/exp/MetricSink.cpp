@@ -1,0 +1,152 @@
+//===- exp/MetricSink.cpp ----------------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/MetricSink.h"
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace dgsim;
+using namespace dgsim::exp;
+
+MetricSink::~MetricSink() = default;
+
+void MetricSink::begin(const RunInfo &) {}
+
+void MetricSink::end(double) {}
+
+//===----------------------------------------------------------------------===//
+// AsciiTableSink
+//===----------------------------------------------------------------------===//
+
+void AsciiTableSink::begin(const RunInfo &Info) {
+  Scn = Info.Scn;
+  Rows.clear();
+}
+
+void AsciiTableSink::trial(const TrialRecord &Record) {
+  std::vector<std::string> Row;
+  Row.push_back(std::to_string(Record.Point.Index));
+  Row.push_back(std::to_string(Record.Point.Seed));
+  for (const auto &[Axis, Value] : Record.Point.Params)
+    Row.push_back(Value);
+  for (const std::string &M : Scn->Metrics)
+    Row.push_back(fmt::fixed(Record.Result.get(M), 3));
+  Rows.push_back(std::move(Row));
+}
+
+void AsciiTableSink::end(double) {
+  Table T;
+  std::vector<std::string> Header = {"trial", "seed"};
+  for (const Axis &A : Scn->Axes)
+    Header.push_back(A.Name);
+  for (const std::string &M : Scn->Metrics)
+    Header.push_back(M);
+  T.setHeader(Header);
+  for (const auto &Row : Rows) {
+    T.beginRow();
+    for (const std::string &Cell : Row)
+      T.add(Cell);
+  }
+  T.print(Out);
+  std::fprintf(Out, "\n");
+}
+
+//===----------------------------------------------------------------------===//
+// JsonSink
+//===----------------------------------------------------------------------===//
+
+JsonSink::JsonSink(std::string Path, bool IncludeTimings)
+    : Path(std::move(Path)), IncludeTimings(IncludeTimings) {}
+
+JsonSink::JsonSink(std::string *Out, bool IncludeTimings)
+    : Capture(Out), IncludeTimings(IncludeTimings) {}
+
+void JsonSink::begin(const RunInfo &Info) {
+  const Scenario &S = *Info.Scn;
+  W.beginObject();
+  W.member("schema", "dgsim-bench-v1");
+  W.member("id", S.Id);
+  W.member("title", S.Title);
+  W.member("git", Info.GitDescribe);
+  if (IncludeTimings)
+    W.member("jobs", Info.Jobs);
+  W.key("axes");
+  W.beginArray();
+  for (const Axis &A : S.Axes) {
+    W.beginObject();
+    W.member("name", A.Name);
+    W.key("values");
+    W.beginArray();
+    for (const std::string &V : A.Values)
+      W.value(V);
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+  W.key("seeds");
+  W.beginArray();
+  for (uint64_t Seed : S.Seeds)
+    W.value(Seed);
+  W.endArray();
+  W.key("metrics");
+  W.beginArray();
+  for (const std::string &M : S.Metrics)
+    W.value(M);
+  W.endArray();
+  W.key("trials");
+  W.beginArray();
+}
+
+void JsonSink::trial(const TrialRecord &Record) {
+  W.beginObject();
+  W.member("index", static_cast<uint64_t>(Record.Point.Index));
+  W.member("seed", Record.Point.Seed);
+  W.key("params");
+  W.beginObject();
+  for (const auto &[Axis, Value] : Record.Point.Params)
+    W.member(Axis, Value);
+  W.endObject();
+  if (Record.Result.SpecHash != 0) {
+    char Buf[17];
+    std::snprintf(Buf, sizeof(Buf), "%016llx",
+                  static_cast<unsigned long long>(Record.Result.SpecHash));
+    W.member("spec_hash", Buf);
+  }
+  W.key("metrics");
+  W.beginObject();
+  for (const auto &[Name, Value] : Record.Result.Metrics)
+    W.member(Name, Value);
+  W.endObject();
+  if (IncludeTimings)
+    W.member("wall_s", Record.WallSeconds);
+  W.endObject();
+}
+
+void JsonSink::end(double TotalWallSeconds) {
+  W.endArray();
+  if (IncludeTimings)
+    W.member("wall_s", TotalWallSeconds);
+  W.endObject();
+  Doc = W.take();
+  if (Capture)
+    *Capture = Doc;
+  if (!Path.empty()) {
+    // A bad path is a user error (typo'd --json), not a programming error:
+    // diagnose and exit instead of asserting.
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                   Path.c_str());
+      std::exit(2);
+    }
+    std::fwrite(Doc.data(), 1, Doc.size(), F);
+    std::fputc('\n', F);
+    std::fclose(F);
+  }
+}

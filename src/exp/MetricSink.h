@@ -1,0 +1,96 @@
+//===- exp/MetricSink.h - Pluggable result sinks ---------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sinks receive trial results as a run progresses.  The runner guarantees
+/// trial() is called in TrialPoint::Index order and never concurrently, no
+/// matter how trials were scheduled across workers — sinks need no locking
+/// and their output is deterministic.
+///
+/// Two implementations ship: an ASCII table of one row per trial (the
+/// human-readable view) and a JSON sink writing the machine-readable
+/// BENCH_<id>.json document with per-trial provenance (seed, params, spec
+/// hash, wall time, git describe).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_EXP_METRICSINK_H
+#define DGSIM_EXP_METRICSINK_H
+
+#include "exp/Scenario.h"
+#include "support/Json.h"
+
+#include <cstdio>
+#include <string>
+
+namespace dgsim {
+namespace exp {
+
+/// Context handed to sinks at the start of a run.
+struct RunInfo {
+  const Scenario *Scn = nullptr;
+  unsigned Jobs = 1;
+  /// `git describe` of the build, or "unknown".
+  std::string GitDescribe;
+};
+
+/// Receives an ordered stream of trial results.
+class MetricSink {
+public:
+  virtual ~MetricSink();
+
+  virtual void begin(const RunInfo &Info);
+  /// Called once per trial, in Index order.
+  virtual void trial(const TrialRecord &Record) = 0;
+  virtual void end(double TotalWallSeconds);
+};
+
+/// Renders one aligned row per trial (params, seed, metrics) to a FILE*.
+/// Columns come from the scenario's axes and declared metrics.
+class AsciiTableSink final : public MetricSink {
+public:
+  explicit AsciiTableSink(std::FILE *Out) : Out(Out) {}
+
+  void begin(const RunInfo &Info) override;
+  void trial(const TrialRecord &Record) override;
+  void end(double TotalWallSeconds) override;
+
+private:
+  std::FILE *Out;
+  const Scenario *Scn = nullptr;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Writes the BENCH_<id>.json document.  With IncludeTimings off, all
+/// host-side fields that legitimately vary between runs (wall times, job
+/// count) are omitted, so serial and parallel sweeps of the same scenario
+/// produce byte-identical documents — the determinism suite relies on it.
+class JsonSink final : public MetricSink {
+public:
+  /// Writes the document to \p Path at end().
+  explicit JsonSink(std::string Path, bool IncludeTimings = true);
+  /// Captures the document into \p Out instead (used by tests).
+  explicit JsonSink(std::string *Out, bool IncludeTimings = true);
+
+  void begin(const RunInfo &Info) override;
+  void trial(const TrialRecord &Record) override;
+  void end(double TotalWallSeconds) override;
+
+  /// The most recent finished document (valid after end()).
+  const std::string &document() const { return Doc; }
+
+private:
+  std::string Path;
+  std::string *Capture = nullptr;
+  bool IncludeTimings;
+  json::JsonWriter W;
+  std::string Doc;
+};
+
+} // namespace exp
+} // namespace dgsim
+
+#endif // DGSIM_EXP_METRICSINK_H

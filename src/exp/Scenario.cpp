@@ -1,0 +1,96 @@
+//===- exp/Scenario.cpp ------------------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Scenario.h"
+
+#include <cassert>
+
+using namespace dgsim;
+using namespace dgsim::exp;
+
+const std::string &TrialPoint::param(const std::string &Name) const {
+  for (const auto &[K, V] : Params)
+    if (K == Name)
+      return V;
+  assert(false && "trial point has no such axis");
+  static const std::string Empty;
+  return Empty;
+}
+
+void TrialResult::set(const std::string &Name, double Value) {
+  for (auto &[K, V] : Metrics)
+    if (K == Name) {
+      V = Value;
+      return;
+    }
+  Metrics.emplace_back(Name, Value);
+}
+
+double TrialResult::get(const std::string &Name) const {
+  for (const auto &[K, V] : Metrics)
+    if (K == Name)
+      return V;
+  assert(false && "trial result has no such metric");
+  return 0.0;
+}
+
+size_t Scenario::trialCount() const {
+  size_t Count = Seeds.size();
+  for (const Axis &A : Axes)
+    Count *= A.Values.size();
+  return Count;
+}
+
+std::vector<TrialPoint> Scenario::expand() const {
+  assert(!Seeds.empty() && "a scenario needs at least one seed");
+  for (const Axis &A : Axes)
+    assert(!A.Values.empty() && "axes need at least one value");
+
+  std::vector<TrialPoint> Points;
+  Points.reserve(trialCount());
+  // Odometer over the axes: first axis slowest, seeds innermost, so adding
+  // seeds appends trials within each combination instead of reshuffling.
+  std::vector<size_t> Pick(Axes.size(), 0);
+  while (true) {
+    for (size_t SeedIdx = 0; SeedIdx < Seeds.size(); ++SeedIdx) {
+      TrialPoint P;
+      P.Index = Points.size();
+      P.Seed = Seeds[SeedIdx];
+      P.SeedOrdinal = SeedIdx;
+      P.Params.reserve(Axes.size());
+      for (size_t A = 0; A < Axes.size(); ++A)
+        P.Params.emplace_back(Axes[A].Name, Axes[A].Values[Pick[A]]);
+      Points.push_back(std::move(P));
+    }
+    // Advance the odometer, last axis fastest.
+    size_t A = Axes.size();
+    while (A > 0) {
+      --A;
+      if (++Pick[A] < Axes[A].Values.size())
+        break;
+      Pick[A] = 0;
+      if (A == 0)
+        return Points;
+    }
+    if (Axes.empty())
+      return Points;
+  }
+}
+
+double exp::meanMetric(const std::vector<TrialRecord> &Records,
+                       const std::string &AxisName, const std::string &Value,
+                       const std::string &Metric) {
+  double Sum = 0.0;
+  size_t Count = 0;
+  for (const TrialRecord &R : Records) {
+    if (!AxisName.empty() && R.Point.param(AxisName) != Value)
+      continue;
+    Sum += R.Result.get(Metric);
+    ++Count;
+  }
+  assert(Count > 0 && "meanMetric over an empty selection");
+  return Sum / static_cast<double>(Count);
+}

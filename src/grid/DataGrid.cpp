@@ -12,19 +12,62 @@ using namespace dgsim;
 
 DataGrid::DataGrid(uint64_t Seed, InformationServiceConfig InfoConfig,
                    ProtocolCosts Costs)
-    : Sim(Seed), InfoConfig(InfoConfig), Costs(Costs) {}
+    : Sim(Seed), InfoConfig(InfoConfig), Costs(Costs) {
+  Spec.Seed = Seed;
+  Spec.Info = InfoConfig;
+  Spec.Costs = Costs;
+}
 
 DataGrid::~DataGrid() = default;
+
+std::unique_ptr<DataGrid> DataGrid::buildFrom(const GridSpec &Spec) {
+  auto G = std::make_unique<DataGrid>(Spec.Seed, Spec.Info, Spec.Costs);
+  for (const SiteConfig &S : Spec.Sites)
+    G->addSite(S);
+  for (const std::string &B : Spec.Backbones)
+    G->addBackboneNode(B);
+  for (const LinkSpec &L : Spec.Links) {
+    Site *SA = G->findSite(L.A);
+    Site *SB = G->findSite(L.B);
+    if (SA && SB) {
+      G->connectSites(L.A, L.B, L.Capacity, L.Delay, L.Loss);
+    } else if (SA || SB) {
+      const std::string &SiteName = SA ? L.A : L.B;
+      const std::string &BackboneName = SA ? L.B : L.A;
+      auto It = G->BackboneByName.find(BackboneName);
+      assert(It != G->BackboneByName.end() &&
+             "link endpoint is neither a site nor a backbone node");
+      G->connectToBackbone(SiteName, It->second, L.Capacity, L.Delay,
+                           L.Loss);
+    } else {
+      G->connectBackbones(L.A, L.B, L.Capacity, L.Delay, L.Loss);
+    }
+  }
+  G->finalize();
+  for (const CrossTrafficSpec &T : Spec.Traffic)
+    G->addCrossTraffic(T.FromSite, T.ToSite, T.MeanInterarrival,
+                       T.MinFlowBytes, T.Streams);
+  for (const CatalogFileSpec &F : Spec.Files)
+    G->registerCatalogFile(F);
+  // Replaying appends to the new grid's own spec in the same canonical
+  // order, so the round trip must be exact.
+  assert(G->spec().hash() == Spec.hash() &&
+         "buildFrom() must reproduce the spec it was given");
+  return G;
+}
 
 Site &DataGrid::addSite(const SiteConfig &Config) {
   assert(!finalized() && "cannot add sites after finalize()");
   assert(!Config.Name.empty() && "sites need a name");
   assert(!Config.Hosts.empty() && "sites need at least one host");
   assert(!findSite(Config.Name) && "duplicate site name");
+  assert(!BackboneByName.count(Config.Name) &&
+         "site name collides with a backbone node");
 
   NodeId Switch = Topo.addNode(Config.Name + "-sw");
   auto S = std::make_unique<Site>(Config.Name, Switch);
   for (const SiteHostSpec &Spec : Config.Hosts) {
+    assert(!findHost(Spec.Name) && "duplicate host name");
     NodeId Node = Topo.addNode(Spec.Name);
     Topo.addLink(Node, Switch, Config.LanCapacity, Config.LanDelay,
                  Config.LanLoss);
@@ -44,12 +87,24 @@ Site &DataGrid::addSite(const SiteConfig &Config) {
     S->Hosts.push_back(std::make_unique<Host>(Sim, HC, Node));
   }
   Sites.push_back(std::move(S));
-  return *Sites.back();
+  Site &Built = *Sites.back();
+  SiteByName[Built.name()] = &Built;
+  for (auto &H : Built.Hosts) {
+    HostByName[H->name()] = H.get();
+    SiteOfHost[H.get()] = &Built;
+  }
+  Spec.Sites.push_back(Config);
+  return Built;
 }
 
 NodeId DataGrid::addBackboneNode(const std::string &Name) {
   assert(!finalized() && "cannot grow the topology after finalize()");
-  return Topo.addNode(Name);
+  assert(!BackboneByName.count(Name) && "duplicate backbone name");
+  assert(!findSite(Name) && "backbone name collides with a site");
+  NodeId Node = Topo.addNode(Name);
+  BackboneByName[Name] = Node;
+  Spec.Backbones.push_back(Name);
+  return Node;
 }
 
 void DataGrid::connectSites(const std::string &A, const std::string &B,
@@ -59,6 +114,7 @@ void DataGrid::connectSites(const std::string &A, const std::string &B,
   Site *SB = findSite(B);
   assert(SA && SB && "connectSites on unknown site names");
   Topo.addLink(SA->switchNode(), SB->switchNode(), Capacity, Delay, Loss);
+  Spec.Links.push_back({A, B, Capacity, Delay, Loss});
 }
 
 void DataGrid::connectToBackbone(const std::string &SiteName, NodeId Backbone,
@@ -68,6 +124,25 @@ void DataGrid::connectToBackbone(const std::string &SiteName, NodeId Backbone,
   Site *S = findSite(SiteName);
   assert(S && "connectToBackbone on an unknown site name");
   Topo.addLink(S->switchNode(), Backbone, Capacity, Delay, Loss);
+  // Record by name; the node must have come from addBackboneNode().
+  const std::string *BackboneName = nullptr;
+  for (const auto &[Name, Node] : BackboneByName)
+    if (Node == Backbone)
+      BackboneName = &Name;
+  assert(BackboneName && "connectToBackbone on an unknown backbone node");
+  Spec.Links.push_back({SiteName, *BackboneName, Capacity, Delay, Loss});
+}
+
+void DataGrid::connectBackbones(const std::string &A, const std::string &B,
+                                BitRate Capacity, SimTime Delay,
+                                double Loss) {
+  assert(!finalized() && "cannot grow the topology after finalize()");
+  auto ItA = BackboneByName.find(A);
+  auto ItB = BackboneByName.find(B);
+  assert(ItA != BackboneByName.end() && ItB != BackboneByName.end() &&
+         "connectBackbones on unknown backbone names");
+  Topo.addLink(ItA->second, ItB->second, Capacity, Delay, Loss);
+  Spec.Links.push_back({A, B, Capacity, Delay, Loss});
 }
 
 void DataGrid::finalize() {
@@ -98,26 +173,18 @@ TransferManager &DataGrid::transfers() {
 }
 
 Site *DataGrid::findSite(const std::string &Name) {
-  for (auto &S : Sites)
-    if (S->name() == Name)
-      return S.get();
-  return nullptr;
+  auto It = SiteByName.find(Name);
+  return It == SiteByName.end() ? nullptr : It->second;
 }
 
 Host *DataGrid::findHost(const std::string &Name) {
-  for (auto &S : Sites)
-    for (auto &H : S->Hosts)
-      if (H->name() == Name)
-        return H.get();
-  return nullptr;
+  auto It = HostByName.find(Name);
+  return It == HostByName.end() ? nullptr : It->second;
 }
 
 Site *DataGrid::siteOf(const Host &H) {
-  for (auto &S : Sites)
-    for (auto &Member : S->Hosts)
-      if (Member.get() == &H)
-        return S.get();
-  return nullptr;
+  auto It = SiteOfHost.find(&H);
+  return It == SiteOfHost.end() ? nullptr : It->second;
 }
 
 std::vector<Host *> DataGrid::allHosts() {
@@ -145,5 +212,18 @@ CrossTraffic &DataGrid::addCrossTraffic(const std::string &FromSite,
   C.Streams = Streams;
   Traffic.push_back(std::make_unique<CrossTraffic>(Sim, *Net, C));
   Traffic.back()->start();
+  Spec.Traffic.push_back(
+      {FromSite, ToSite, MeanInterarrival, MinFlowBytes, Streams});
   return *Traffic.back();
+}
+
+void DataGrid::registerCatalogFile(const CatalogFileSpec &File) {
+  assert(finalized() && "registerCatalogFile() before finalize()");
+  Catalog.registerFile(File.Lfn, File.SizeBytes);
+  for (const std::string &HostName : File.ReplicaHosts) {
+    Host *H = findHost(HostName);
+    assert(H && "catalog replica on an unknown host");
+    Catalog.addReplica(File.Lfn, *H);
+  }
+  Spec.Files.push_back(File);
 }

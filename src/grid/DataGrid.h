@@ -27,44 +27,18 @@
 #ifndef DGSIM_GRID_DATAGRID_H
 #define DGSIM_GRID_DATAGRID_H
 
+#include "grid/GridSpec.h"
 #include "gridftp/TransferManager.h"
-#include "monitor/InformationService.h"
 #include "net/CrossTraffic.h"
 #include "replica/ReplicaCatalog.h"
 #include "support/Trace.h"
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace dgsim {
-
-/// Per-host knobs within a site description.
-struct SiteHostSpec {
-  std::string Name;
-  /// Relative CPU speed (1.0 = P4 2.8 GHz class).
-  double CpuSpeed = 1.0;
-  BitRate NicRate = 1e9;
-  BitRate DiskReadRate = 400e6;
-  BitRate DiskWriteRate = 320e6;
-  double MemoryBytes = 1024.0 * 1024.0 * 1024.0;
-  /// Operating points of the stochastic load processes.
-  double CpuMeanLoad = 0.2;
-  double IoMeanLoad = 0.1;
-  double MemMeanLoad = 0.4;
-  /// Diffusion of the load processes (0 = frozen at the mean).
-  double LoadVolatility = 0.05;
-};
-
-/// A site (PC cluster): hosts behind a LAN switch.
-struct SiteConfig {
-  std::string Name;
-  std::vector<SiteHostSpec> Hosts;
-  /// LAN link from each host to the site switch.
-  BitRate LanCapacity = 1e9;
-  SimTime LanDelay = 0.0001;
-  double LanLoss = 0.0;
-};
 
 /// A built site: its switch node and live hosts.
 class Site {
@@ -97,6 +71,17 @@ public:
   DataGrid(const DataGrid &) = delete;
   DataGrid &operator=(const DataGrid &) = delete;
 
+  /// Builds a complete grid from a declarative spec: sites, backbone
+  /// nodes, links, then finalize(), then cross-traffic and catalog
+  /// contents — the same canonical order as the imperative API, so a
+  /// spec-built grid is bit-identical to the equivalent hand-built one.
+  static std::unique_ptr<DataGrid> buildFrom(const GridSpec &Spec);
+
+  /// The declarative record of everything built so far.  Imperative build
+  /// calls (addSite, connect*, addCrossTraffic, registerCatalogFile)
+  /// append to it, so spec().hash() identifies the grid either way.
+  const GridSpec &spec() const { return Spec; }
+
   //===--------------------------------------------------------------------===//
   // Build phase
   //===--------------------------------------------------------------------===//
@@ -114,6 +99,10 @@ public:
   /// Joins a site's switch to a backbone node.
   void connectToBackbone(const std::string &SiteName, NodeId Backbone,
                          BitRate Capacity, SimTime Delay, double Loss = 0.0);
+
+  /// Joins two backbone nodes (both from addBackboneNode) by name.
+  void connectBackbones(const std::string &A, const std::string &B,
+                        BitRate Capacity, SimTime Delay, double Loss = 0.0);
 
   /// Freezes the topology and brings the services up.
   void finalize();
@@ -154,6 +143,10 @@ public:
                                 SimTime MeanInterarrival, Bytes MinFlowBytes,
                                 unsigned Streams = 1);
 
+  /// Registers a logical file and its replicas (by host name) in the
+  /// catalog, recording it in spec().  Must be called after finalize().
+  void registerCatalogFile(const CatalogFileSpec &File);
+
 private:
   Simulator Sim;
   Topology Topo;
@@ -168,6 +161,13 @@ private:
   std::vector<std::unique_ptr<CrossTraffic>> Traffic;
   ReplicaCatalog Catalog;
   TraceLog Trace;
+  GridSpec Spec;
+  // Name -> object indexes, maintained by addSite/addBackboneNode so every
+  // lookup is O(1) (findHost sits on the per-job hot path).
+  std::unordered_map<std::string, Site *> SiteByName;
+  std::unordered_map<std::string, Host *> HostByName;
+  std::unordered_map<const Host *, Site *> SiteOfHost;
+  std::unordered_map<std::string, NodeId> BackboneByName;
 };
 
 } // namespace dgsim

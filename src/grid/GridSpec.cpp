@@ -1,0 +1,120 @@
+//===- grid/GridSpec.cpp -----------------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "grid/GridSpec.h"
+
+#include "support/Json.h"
+
+#include <cstdio>
+
+using namespace dgsim;
+
+std::string GridSpec::canonicalJson() const {
+  json::JsonWriter W;
+  W.beginObject();
+  W.member("seed", Seed);
+  W.key("info");
+  W.beginObject();
+  W.member("bandwidth_period", Info.BandwidthPeriod);
+  W.member("host_period", Info.HostPeriod);
+  W.member("normalization",
+           Info.Normalization == BwNormalization::ClientAccess
+               ? "client-access"
+               : "per-path");
+  W.endObject();
+  W.key("costs");
+  W.beginObject();
+  W.member("ftp_dialogue_rtts", Costs.FtpDialogueRtts);
+  W.member("gsi_handshake_rtts", Costs.GsiHandshakeRtts);
+  W.member("gsi_crypto_s", Costs.GsiCryptoSeconds);
+  W.member("mode_e_negotiation_rtts", Costs.ModeENegotiationRtts);
+  W.member("server_setup_s", Costs.ServerSetupSeconds);
+  W.member("mode_e_block_bytes", Costs.ModeEBlockBytes);
+  W.member("mode_e_header_bytes", Costs.ModeEHeaderBytes);
+  W.endObject();
+  W.key("sites");
+  W.beginArray();
+  for (const SiteConfig &S : Sites) {
+    W.beginObject();
+    W.member("name", S.Name);
+    W.member("lan_capacity", S.LanCapacity);
+    W.member("lan_delay", S.LanDelay);
+    W.member("lan_loss", S.LanLoss);
+    W.key("hosts");
+    W.beginArray();
+    for (const SiteHostSpec &H : S.Hosts) {
+      W.beginObject();
+      W.member("name", H.Name);
+      W.member("cpu_speed", H.CpuSpeed);
+      W.member("nic_rate", H.NicRate);
+      W.member("disk_read_rate", H.DiskReadRate);
+      W.member("disk_write_rate", H.DiskWriteRate);
+      W.member("memory_bytes", H.MemoryBytes);
+      W.member("cpu_mean_load", H.CpuMeanLoad);
+      W.member("io_mean_load", H.IoMeanLoad);
+      W.member("mem_mean_load", H.MemMeanLoad);
+      W.member("load_volatility", H.LoadVolatility);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+  W.key("backbones");
+  W.beginArray();
+  for (const std::string &B : Backbones)
+    W.value(B);
+  W.endArray();
+  W.key("links");
+  W.beginArray();
+  for (const LinkSpec &L : Links) {
+    W.beginObject();
+    W.member("a", L.A);
+    W.member("b", L.B);
+    W.member("capacity", L.Capacity);
+    W.member("delay", L.Delay);
+    W.member("loss", L.Loss);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("traffic");
+  W.beginArray();
+  for (const CrossTrafficSpec &T : Traffic) {
+    W.beginObject();
+    W.member("from", T.FromSite);
+    W.member("to", T.ToSite);
+    W.member("mean_interarrival", T.MeanInterarrival);
+    W.member("min_flow_bytes", T.MinFlowBytes);
+    W.member("streams", T.Streams);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("files");
+  W.beginArray();
+  for (const CatalogFileSpec &F : Files) {
+    W.beginObject();
+    W.member("lfn", F.Lfn);
+    W.member("size_bytes", F.SizeBytes);
+    W.key("replicas");
+    W.beginArray();
+    for (const std::string &R : F.ReplicaHosts)
+      W.value(R);
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.take();
+}
+
+uint64_t GridSpec::hash() const { return fnv1a(canonicalJson()); }
+
+std::string GridSpec::hashHex() const {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(hash()));
+  return Buf;
+}

@@ -1,0 +1,116 @@
+//===- grid/GridSpec.h - Declarative description of a Data Grid ------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A GridSpec is a pure value describing everything a DataGrid builds:
+/// sites (with per-host knobs), backbone nodes, wide-area links,
+/// background cross-traffic and replica-catalog contents, plus the seed
+/// and service configurations.  It is the declarative counterpart of the
+/// imperative DataGrid build API — `DataGrid::buildFrom(Spec)` replays a
+/// spec through that API in a canonical order, so a spec-built grid is
+/// bit-identical to the equivalent hand-built one.
+///
+/// Specs are hashable: canonicalJson() serializes every field in a fixed
+/// order and hash() folds that string with FNV-1a.  The experiment layer
+/// records the hash per trial, so BENCH_*.json results are traceable to
+/// the exact grid they ran on.
+///
+/// Link endpoints are *names*: a site name resolves to the site's switch,
+/// anything else must be a declared backbone node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_GRID_GRIDSPEC_H
+#define DGSIM_GRID_GRIDSPEC_H
+
+#include "gridftp/Protocol.h"
+#include "monitor/InformationService.h"
+#include "support/Units.h"
+
+#include <string>
+#include <vector>
+
+namespace dgsim {
+
+/// Per-host knobs within a site description.
+struct SiteHostSpec {
+  std::string Name;
+  /// Relative CPU speed (1.0 = P4 2.8 GHz class).
+  double CpuSpeed = 1.0;
+  BitRate NicRate = 1e9;
+  BitRate DiskReadRate = 400e6;
+  BitRate DiskWriteRate = 320e6;
+  double MemoryBytes = 1024.0 * 1024.0 * 1024.0;
+  /// Operating points of the stochastic load processes.
+  double CpuMeanLoad = 0.2;
+  double IoMeanLoad = 0.1;
+  double MemMeanLoad = 0.4;
+  /// Diffusion of the load processes (0 = frozen at the mean).
+  double LoadVolatility = 0.05;
+};
+
+/// A site (PC cluster): hosts behind a LAN switch.
+struct SiteConfig {
+  std::string Name;
+  std::vector<SiteHostSpec> Hosts;
+  /// LAN link from each host to the site switch.
+  BitRate LanCapacity = 1e9;
+  SimTime LanDelay = 0.0001;
+  double LanLoss = 0.0;
+};
+
+/// A wide-area link between two named endpoints (site or backbone names).
+struct LinkSpec {
+  std::string A;
+  std::string B;
+  BitRate Capacity = 1e9;
+  SimTime Delay = 0.001;
+  double Loss = 0.0;
+};
+
+/// Background traffic between two sites' switches.
+struct CrossTrafficSpec {
+  std::string FromSite;
+  std::string ToSite;
+  SimTime MeanInterarrival = 1.0;
+  Bytes MinFlowBytes = 0.0;
+  unsigned Streams = 1;
+};
+
+/// A logical file and the hosts holding its replicas at start of run.
+struct CatalogFileSpec {
+  std::string Lfn;
+  Bytes SizeBytes = 0.0;
+  std::vector<std::string> ReplicaHosts;
+};
+
+/// The declarative grid description.
+struct GridSpec {
+  uint64_t Seed = 1;
+  InformationServiceConfig Info;
+  ProtocolCosts Costs;
+  std::vector<SiteConfig> Sites;
+  std::vector<std::string> Backbones;
+  std::vector<LinkSpec> Links;
+  std::vector<CrossTrafficSpec> Traffic;
+  std::vector<CatalogFileSpec> Files;
+
+  /// Serializes every field, in declaration order, to a canonical JSON
+  /// document (deterministic number formatting; no whitespace).
+  std::string canonicalJson() const;
+
+  /// FNV-1a hash of canonicalJson(): two specs hash equal iff they would
+  /// build identical grids.
+  uint64_t hash() const;
+
+  /// hash() rendered as 16 lowercase hex digits (the form stored in
+  /// BENCH_*.json provenance).
+  std::string hashHex() const;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_GRID_GRIDSPEC_H

@@ -19,9 +19,11 @@ static constexpr double ThuCpuSpeed = 0.85;   // dual AthlonMP 2.0 GHz
 static constexpr double LiZenCpuSpeed = 0.32; // Celeron 900 MHz
 static constexpr double HitCpuSpeed = 1.0;    // P4 2.8 GHz
 
-PaperTestbed::PaperTestbed(PaperTestbedOptions Options)
-    : Options(Options), Grid(std::make_unique<DataGrid>(Options.Seed,
-                                                        Options.Info)) {
+GridSpec PaperTestbed::spec(const PaperTestbedOptions &Options) {
+  GridSpec Spec;
+  Spec.Seed = Options.Seed;
+  Spec.Info = Options.Info;
+
   double Vol = Options.DynamicLoad ? 0.04 : 0.0;
 
   auto MakeSite = [&](const char *SiteName, const char *HostPrefix,
@@ -47,7 +49,7 @@ PaperTestbed::PaperTestbed(PaperTestbedOptions Options)
       H.LoadVolatility = Vol;
       S.Hosts.push_back(H);
     }
-    Grid->addSite(S);
+    Spec.Sites.push_back(std::move(S));
   };
 
   // Per-host RAM follows the paper: 1 GB DDR (THU), 256 MB (Li-Zen),
@@ -68,24 +70,26 @@ PaperTestbed::PaperTestbed(PaperTestbedOptions Options)
   // exactly what makes MODE E parallel streams pay off there (Fig 4).
   // Inter-campus routes go through the TANet core in Taipei, so one-way
   // delays are several milliseconds even between Taichung campuses.
-  NodeId Tanet = Grid->addBackboneNode("tanet");
-  Grid->connectToBackbone("thu", Tanet, gbps(1), 0.0040, 2e-5);
-  Grid->connectToBackbone("hit", Tanet, gbps(1), 0.0050, 2e-5);
-  Grid->connectToBackbone("lizen", Tanet, mbps(30), 0.0100, 1e-2);
-
-  Grid->finalize();
+  Spec.Backbones.push_back("tanet");
+  Spec.Links.push_back({"thu", "tanet", gbps(1), 0.0040, 2e-5});
+  Spec.Links.push_back({"hit", "tanet", gbps(1), 0.0050, 2e-5});
+  Spec.Links.push_back({"lizen", "tanet", mbps(30), 0.0100, 1e-2});
 
   if (Options.CrossTraffic) {
     // University-to-university bulk traffic keeps the backbone share of
     // the gigabit paths dynamic...
-    Grid->addCrossTraffic("thu", "hit", /*MeanInterarrival=*/2.0,
-                          /*MinFlowBytes=*/megabytes(4), /*Streams=*/4);
-    Grid->addCrossTraffic("hit", "thu", 2.5, megabytes(4), 4);
+    Spec.Traffic.push_back({"thu", "hit", /*MeanInterarrival=*/2.0,
+                            /*MinFlowBytes=*/megabytes(4), /*Streams=*/4});
+    Spec.Traffic.push_back({"hit", "thu", 2.5, megabytes(4), 4});
     // ...and light web-ish traffic keeps the Li-Zen access busy.
-    Grid->addCrossTraffic("thu", "lizen", 6.0, kilobytes(512));
-    Grid->addCrossTraffic("hit", "lizen", 7.0, kilobytes(512));
+    Spec.Traffic.push_back({"thu", "lizen", 6.0, kilobytes(512), 1});
+    Spec.Traffic.push_back({"hit", "lizen", 7.0, kilobytes(512), 1});
   }
+  return Spec;
 }
+
+PaperTestbed::PaperTestbed(PaperTestbedOptions Options)
+    : Options(Options), Grid(DataGrid::buildFrom(spec(Options))) {}
 
 Host &PaperTestbed::alpha(int I) {
   assert(I >= 1 && I <= 4 && "THU hosts are alpha1..alpha4");
@@ -106,8 +110,9 @@ void PaperTestbed::publishFileA() {
   ReplicaCatalog &Cat = Grid->catalog();
   if (Cat.hasFile(FileA))
     return;
-  Cat.registerFile(FileA, megabytes(1024));
-  Cat.addReplica(FileA, alpha(4));
-  Cat.addReplica(FileA, hit(0));
-  Cat.addReplica(FileA, lz(2));
+  CatalogFileSpec F;
+  F.Lfn = FileA;
+  F.SizeBytes = megabytes(1024);
+  F.ReplicaHosts = {alpha(4).name(), hit(0).name(), lz(2).name()};
+  Grid->registerCatalogFile(F);
 }

@@ -48,6 +48,13 @@ class PaperTestbed {
 public:
   explicit PaperTestbed(PaperTestbedOptions Options = {});
 
+  /// The declarative description of the paper testbed under the given
+  /// options: three sites, the TANet backbone, access links, and (when
+  /// enabled) the background cross-traffic.  The constructor is exactly
+  /// `DataGrid::buildFrom(spec(Options))`; callers can also take the spec,
+  /// perturb it (more sites, different links) and build their own grid.
+  static GridSpec spec(const PaperTestbedOptions &Options);
+
   DataGrid &grid() { return *Grid; }
   Simulator &sim() { return Grid->sim(); }
 

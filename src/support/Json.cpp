@@ -1,0 +1,344 @@
+//===- support/Json.cpp ------------------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+using namespace dgsim;
+using namespace dgsim::json;
+
+std::string json::escape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+std::string json::number(double Value) {
+  if (!std::isfinite(Value))
+    return "null";
+  char Buf[64];
+  auto [End, Ec] = std::to_chars(Buf, Buf + sizeof(Buf), Value);
+  assert(Ec == std::errc() && "to_chars cannot fail with a 64-byte buffer");
+  return std::string(Buf, End);
+}
+
+JsonWriter::JsonWriter() { Out.reserve(256); }
+
+void JsonWriter::beforeValue() {
+  if (Stack.empty())
+    return;
+  Scope &S = Stack.back();
+  if (S.IsObject) {
+    assert(S.KeyPending && "object values need a key() first");
+    S.KeyPending = false;
+  } else {
+    if (!S.First)
+      Out += ',';
+    S.First = false;
+  }
+}
+
+void JsonWriter::beginObject() {
+  beforeValue();
+  Out += '{';
+  Stack.push_back({/*IsObject=*/true, /*First=*/true, /*KeyPending=*/false});
+}
+
+void JsonWriter::endObject() {
+  assert(!Stack.empty() && Stack.back().IsObject && "unbalanced endObject");
+  assert(!Stack.back().KeyPending && "dangling key at endObject");
+  Stack.pop_back();
+  Out += '}';
+}
+
+void JsonWriter::beginArray() {
+  beforeValue();
+  Out += '[';
+  Stack.push_back({/*IsObject=*/false, /*First=*/true, /*KeyPending=*/false});
+}
+
+void JsonWriter::endArray() {
+  assert(!Stack.empty() && !Stack.back().IsObject && "unbalanced endArray");
+  Stack.pop_back();
+  Out += ']';
+}
+
+void JsonWriter::key(std::string_view K) {
+  assert(!Stack.empty() && Stack.back().IsObject && "key() outside object");
+  Scope &S = Stack.back();
+  assert(!S.KeyPending && "two keys in a row");
+  if (!S.First)
+    Out += ',';
+  S.First = false;
+  S.KeyPending = true;
+  Out += '"';
+  Out += escape(K);
+  Out += "\":";
+}
+
+void JsonWriter::value(std::string_view S) {
+  beforeValue();
+  Out += '"';
+  Out += escape(S);
+  Out += '"';
+}
+
+void JsonWriter::value(double V) {
+  beforeValue();
+  Out += number(V);
+}
+
+void JsonWriter::value(uint64_t V) {
+  beforeValue();
+  char Buf[24];
+  auto [End, Ec] = std::to_chars(Buf, Buf + sizeof(Buf), V);
+  (void)Ec;
+  Out.append(Buf, End);
+}
+
+void JsonWriter::value(int64_t V) {
+  beforeValue();
+  char Buf[24];
+  auto [End, Ec] = std::to_chars(Buf, Buf + sizeof(Buf), V);
+  (void)Ec;
+  Out.append(Buf, End);
+}
+
+void JsonWriter::value(bool V) {
+  beforeValue();
+  Out += V ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  beforeValue();
+  Out += "null";
+}
+
+std::string JsonWriter::take() {
+  assert(Stack.empty() && "take() with open scopes");
+  std::string Result = std::move(Out);
+  Out.clear();
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Validator: recursive descent over the JSON grammar, syntax only.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Doc) : S(Doc) {}
+
+  bool run() {
+    skipWs();
+    if (!parseValue())
+      return false;
+    skipWs();
+    return Pos == S.size();
+  }
+
+private:
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool lit(std::string_view L) {
+    if (S.substr(Pos, L.size()) == L) {
+      Pos += L.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool parseString() {
+    if (!eat('"'))
+      return false;
+    while (Pos < S.size()) {
+      char C = S[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return false;
+      if (C == '\\') {
+        ++Pos;
+        if (Pos >= S.size())
+          return false;
+        char E = S[Pos];
+        if (E == 'u') {
+          for (int I = 0; I < 4; ++I) {
+            ++Pos;
+            if (Pos >= S.size() || !std::isxdigit(
+                    static_cast<unsigned char>(S[Pos])))
+              return false;
+          }
+        } else if (!std::strchr("\"\\/bfnrt", E)) {
+          return false;
+        }
+      }
+      ++Pos;
+    }
+    return false;
+  }
+
+  bool parseNumber() {
+    size_t Start = Pos;
+    (void)eat('-');
+    size_t IntStart = Pos;
+    if (!digits())
+      return false;
+    // JSON forbids leading zeros: "0" is fine, "01" is not.
+    if (S[IntStart] == '0' && Pos - IntStart > 1)
+      return false;
+    if (eat('.') && !digits())
+      return false;
+    if (Pos < S.size() && (S[Pos] == 'e' || S[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < S.size() && (S[Pos] == '+' || S[Pos] == '-'))
+        ++Pos;
+      if (!digits())
+        return false;
+    }
+    return Pos > Start;
+  }
+
+  bool digits() {
+    size_t Start = Pos;
+    while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+    return Pos > Start;
+  }
+
+  bool parseValue() {
+    if (++Depth > MaxDepth)
+      return false;
+    skipWs();
+    bool Ok = false;
+    if (Pos >= S.size()) {
+      Ok = false;
+    } else if (S[Pos] == '{') {
+      Ok = parseObject();
+    } else if (S[Pos] == '[') {
+      Ok = parseArray();
+    } else if (S[Pos] == '"') {
+      Ok = parseString();
+    } else if (S[Pos] == 't') {
+      Ok = lit("true");
+    } else if (S[Pos] == 'f') {
+      Ok = lit("false");
+    } else if (S[Pos] == 'n') {
+      Ok = lit("null");
+    } else {
+      Ok = parseNumber();
+    }
+    --Depth;
+    return Ok;
+  }
+
+  bool parseObject() {
+    if (!eat('{'))
+      return false;
+    skipWs();
+    if (eat('}'))
+      return true;
+    while (true) {
+      skipWs();
+      if (!parseString())
+        return false;
+      skipWs();
+      if (!eat(':'))
+        return false;
+      if (!parseValue())
+        return false;
+      skipWs();
+      if (eat('}'))
+        return true;
+      if (!eat(','))
+        return false;
+    }
+  }
+
+  bool parseArray() {
+    if (!eat('['))
+      return false;
+    skipWs();
+    if (eat(']'))
+      return true;
+    while (true) {
+      if (!parseValue())
+        return false;
+      skipWs();
+      if (eat(']'))
+        return true;
+      if (!eat(','))
+        return false;
+    }
+  }
+
+  static constexpr int MaxDepth = 256;
+  std::string_view S;
+  size_t Pos = 0;
+  int Depth = 0;
+};
+
+} // namespace
+
+bool json::validate(std::string_view Doc) { return Parser(Doc).run(); }
+
+uint64_t dgsim::fnv1a(std::string_view Data) {
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  for (unsigned char C : Data) {
+    Hash ^= C;
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}

@@ -1,0 +1,111 @@
+//===- support/Json.h - Minimal JSON emission and validation ---------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small JSON toolkit for the experiment layer: a streaming
+/// writer with deterministic number formatting (shortest round-trip via
+/// std::to_chars, so identical doubles always serialize to identical bytes
+/// — the parallel-vs-serial determinism tests depend on this) and a
+/// syntax-only validator used by tests to check emitted documents.
+///
+/// No DOM, no parsing into values: sinks build documents forward-only and
+/// tests only need "is this well-formed and does it contain these keys".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_SUPPORT_JSON_H
+#define DGSIM_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dgsim {
+namespace json {
+
+/// Escapes \p S for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string escape(std::string_view S);
+
+/// Formats a double deterministically: shortest representation that parses
+/// back to the same value.  Non-finite values become "null" (JSON has no
+/// NaN/Inf).
+std::string number(double Value);
+
+/// Streaming JSON writer.  Usage:
+///
+/// \code
+///   JsonWriter W;
+///   W.beginObject();
+///   W.key("id"); W.value("abl-scale");
+///   W.key("trials"); W.beginArray(); ... W.endArray();
+///   W.endObject();
+///   std::string Doc = W.take();
+/// \endcode
+///
+/// Commas and nesting are handled by the writer; mismatched begin/end or a
+/// value without a pending key inside an object assert.
+class JsonWriter {
+public:
+  JsonWriter();
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// States the key of the next value inside an object.
+  void key(std::string_view K);
+
+  void value(std::string_view S);
+  void value(const char *S) { value(std::string_view(S)); }
+  void value(const std::string &S) { value(std::string_view(S)); }
+  void value(double V);
+  void value(uint64_t V);
+  void value(int64_t V);
+  void value(int V) { value(static_cast<int64_t>(V)); }
+  void value(unsigned V) { value(static_cast<uint64_t>(V)); }
+  void value(bool V);
+  void null();
+
+  /// Convenience: key + value in one call.
+  template <typename T> void member(std::string_view K, const T &V) {
+    key(K);
+    value(V);
+  }
+
+  /// \returns the finished document and resets the writer.  All scopes must
+  /// be closed.
+  std::string take();
+
+  /// \returns the document so far (for incremental inspection).
+  const std::string &str() const { return Out; }
+
+private:
+  void beforeValue();
+
+  struct Scope {
+    bool IsObject = false;
+    bool First = true;
+    bool KeyPending = false;
+  };
+  std::string Out;
+  std::vector<Scope> Stack;
+};
+
+/// \returns true when \p Doc is a single well-formed JSON value (with
+/// optional surrounding whitespace).  Syntax only; no semantic checks.
+bool validate(std::string_view Doc);
+
+} // namespace json
+
+/// FNV-1a 64-bit hash; used for GridSpec content hashes.
+uint64_t fnv1a(std::string_view Data);
+
+} // namespace dgsim
+
+#endif // DGSIM_SUPPORT_JSON_H

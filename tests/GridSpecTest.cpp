@@ -1,0 +1,137 @@
+//===- tests/GridSpecTest.cpp - GridSpec / buildFrom tests -----------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The declarative construction contract: a grid built imperatively records
+/// a spec equal to what it was asked to build; buildFrom() replays a spec
+/// into an equivalent grid; and the spec hash is a stable content hash that
+/// moves when (and only when) the described grid changes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "grid/DataGrid.h"
+#include "grid/Testbed.h"
+#include "support/Json.h"
+#include "support/Units.h"
+
+#include <gtest/gtest.h>
+
+using namespace dgsim;
+using namespace dgsim::units;
+
+namespace {
+
+/// A small two-site grid built through the imperative API.
+std::unique_ptr<DataGrid> buildImperative(uint64_t Seed) {
+  auto G = std::make_unique<DataGrid>(Seed);
+  for (const char *Name : {"left", "right"}) {
+    SiteConfig S;
+    S.Name = Name;
+    S.Hosts.resize(2);
+    S.Hosts[0].Name = std::string(Name) + "0";
+    S.Hosts[1].Name = std::string(Name) + "1";
+    S.Hosts[1].CpuSpeed = 0.5;
+    G->addSite(S);
+  }
+  NodeId Core = G->addBackboneNode("core");
+  G->connectToBackbone("left", Core, gbps(1), 0.002, 1e-5);
+  G->connectToBackbone("right", Core, mbps(30), 0.01, 1e-2);
+  G->finalize();
+  G->addCrossTraffic("left", "right", 5.0, megabytes(1), 2);
+  CatalogFileSpec F;
+  F.Lfn = "file-x";
+  F.SizeBytes = megabytes(64);
+  F.ReplicaHosts = {"right0"};
+  G->registerCatalogFile(F);
+  return G;
+}
+
+} // namespace
+
+TEST(GridSpec, ImperativeBuildRecordsFullSpec) {
+  auto G = buildImperative(7);
+  const GridSpec &S = G->spec();
+  EXPECT_EQ(S.Seed, 7u);
+  ASSERT_EQ(S.Sites.size(), 2u);
+  EXPECT_EQ(S.Sites[0].Name, "left");
+  ASSERT_EQ(S.Backbones.size(), 1u);
+  EXPECT_EQ(S.Backbones[0], "core");
+  ASSERT_EQ(S.Links.size(), 2u);
+  ASSERT_EQ(S.Traffic.size(), 1u);
+  EXPECT_EQ(S.Traffic[0].Streams, 2u);
+  ASSERT_EQ(S.Files.size(), 1u);
+  EXPECT_EQ(S.Files[0].Lfn, "file-x");
+}
+
+TEST(GridSpec, CanonicalJsonIsWellFormedAndDeterministic) {
+  auto G = buildImperative(7);
+  std::string Doc = G->spec().canonicalJson();
+  EXPECT_TRUE(json::validate(Doc));
+  EXPECT_EQ(Doc, buildImperative(7)->spec().canonicalJson());
+}
+
+TEST(GridSpec, HashTracksContent) {
+  auto A = buildImperative(7);
+  auto B = buildImperative(7);
+  EXPECT_EQ(A->spec().hash(), B->spec().hash());
+  auto C = buildImperative(8); // Seed is part of the content.
+  EXPECT_NE(A->spec().hash(), C->spec().hash());
+  EXPECT_EQ(A->spec().hashHex().size(), 16u);
+}
+
+TEST(GridSpec, BuildFromRoundTripsTheSpec) {
+  auto Hand = buildImperative(7);
+  auto Replayed = DataGrid::buildFrom(Hand->spec());
+  EXPECT_EQ(Replayed->spec().hash(), Hand->spec().hash());
+  EXPECT_EQ(Replayed->spec().canonicalJson(), Hand->spec().canonicalJson());
+}
+
+TEST(GridSpec, BuildFromGridBehavesIdentically) {
+  // The replayed grid must not just describe the same topology — it must
+  // *simulate* identically.  Same seed, same transfer, same result.
+  auto RunOnce = [](DataGrid &G) {
+    G.sim().runUntil(30.0);
+    TransferSpec Spec;
+    Spec.Source = G.findHost("right0");
+    Spec.Destination = G.findHost("left0");
+    Spec.FileBytes = megabytes(64);
+    Spec.Protocol = TransferProtocol::GridFtpModeE;
+    Spec.Streams = 4;
+    double Seconds = 0.0;
+    G.transfers().submit(
+        Spec, [&](const TransferResult &R) { Seconds = R.totalSeconds(); });
+    G.sim().run();
+    return Seconds;
+  };
+  auto Hand = buildImperative(7);
+  auto Replayed = DataGrid::buildFrom(Hand->spec());
+  double A = RunOnce(*Hand);
+  double B = RunOnce(*Replayed);
+  EXPECT_GT(A, 0.0);
+  EXPECT_EQ(A, B); // Bit-identical, not approximately equal.
+}
+
+TEST(GridSpec, PaperTestbedIsSpecBuilt) {
+  PaperTestbedOptions O;
+  GridSpec S = PaperTestbed::spec(O);
+  EXPECT_EQ(S.Sites.size(), 3u);
+  EXPECT_EQ(S.Seed, O.Seed);
+  PaperTestbed T(O);
+  EXPECT_EQ(T.grid().spec().hash(), S.hash());
+}
+
+TEST(GridSpec, FindHostAndSiteIndexes) {
+  auto G = buildImperative(7);
+  Host *H = G->findHost("left1");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->name(), "left1");
+  Site *S = G->findSite("right");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->name(), "right");
+  EXPECT_EQ(G->siteOf(*H)->name(), "left");
+  EXPECT_EQ(G->findHost("nope"), nullptr);
+  EXPECT_EQ(G->findSite("nope"), nullptr);
+}

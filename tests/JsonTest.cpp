@@ -1,0 +1,107 @@
+//===- tests/JsonTest.cpp - support/Json unit tests ------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+using namespace dgsim;
+
+TEST(JsonEscape, PassesPlainText) {
+  EXPECT_EQ(json::escape("abl-scale"), "abl-scale");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json::escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonNumber, RoundTripsExactly) {
+  for (double V : {0.0, 1.0, -1.5, 0.1, 1e-9, 3.141592653589793, 1e300}) {
+    std::string S = json::number(V);
+    EXPECT_EQ(std::strtod(S.c_str(), nullptr), V) << S;
+  }
+}
+
+TEST(JsonNumber, IsDeterministic) {
+  // Identical doubles must serialize to identical bytes: the
+  // parallel-vs-serial determinism comparison depends on it.
+  double V = 54.7839327747006;
+  EXPECT_EQ(json::number(V), json::number(V));
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json::number(std::nan("")), "null");
+  EXPECT_EQ(json::number(HUGE_VAL), "null");
+}
+
+TEST(JsonWriter, BuildsNestedDocument) {
+  json::JsonWriter W;
+  W.beginObject();
+  W.member("id", "t");
+  W.key("xs");
+  W.beginArray();
+  W.value(1);
+  W.value(2.5);
+  W.value(true);
+  W.null();
+  W.endArray();
+  W.key("sub");
+  W.beginObject();
+  W.member("k", uint64_t{42});
+  W.endObject();
+  W.endObject();
+  std::string Doc = W.take();
+  EXPECT_EQ(Doc, "{\"id\":\"t\",\"xs\":[1,2.5,true,null],\"sub\":{\"k\":42}}");
+  EXPECT_TRUE(json::validate(Doc));
+}
+
+TEST(JsonWriter, TakeResetsForReuse) {
+  json::JsonWriter W;
+  W.beginArray();
+  W.endArray();
+  EXPECT_EQ(W.take(), "[]");
+  W.beginObject();
+  W.endObject();
+  EXPECT_EQ(W.take(), "{}");
+}
+
+TEST(JsonValidate, AcceptsWellFormedValues) {
+  EXPECT_TRUE(json::validate("null"));
+  EXPECT_TRUE(json::validate("  -1.5e-3 "));
+  EXPECT_TRUE(json::validate("\"a\\u00e9b\""));
+  EXPECT_TRUE(json::validate("[1,[2,[3]],{\"a\":[]}]"));
+  EXPECT_TRUE(json::validate("{\"a\":{\"b\":null},\"c\":false}"));
+}
+
+TEST(JsonValidate, RejectsMalformedValues) {
+  EXPECT_FALSE(json::validate(""));
+  EXPECT_FALSE(json::validate("{"));
+  EXPECT_FALSE(json::validate("[1,]"));
+  EXPECT_FALSE(json::validate("{\"a\" 1}"));
+  EXPECT_FALSE(json::validate("{\"a\":1} extra"));
+  EXPECT_FALSE(json::validate("'single'"));
+  EXPECT_FALSE(json::validate("01"));
+  EXPECT_FALSE(json::validate("\"unterminated"));
+}
+
+TEST(Fnv1a, MatchesKnownVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a, SensitiveToEveryByte) {
+  EXPECT_NE(fnv1a("abl-scale"), fnv1a("abl-scalf"));
+  EXPECT_NE(fnv1a(std::string_view("\0a", 2)),
+            fnv1a(std::string_view("\0b", 2)));
+}
