@@ -38,6 +38,7 @@ namespace {
 
 struct ChurnResult {
   double StepsPerSec = 0.0;
+  double EventsPerSec = 0.0;
   double MeanComponent = 0.0;
   double MaxError = 0.0;
 };
@@ -101,6 +102,7 @@ ChurnResult runChurn(size_t NumFlows, bool SharedCore, size_t Steps,
 
   uint64_t Events0 = Net.rebalanceEvents();
   uint64_t Demands0 = Net.rebalanceDemandsSolved();
+  uint64_t SimEvents0 = Sim.eventsExecuted();
   auto Wall0 = std::chrono::steady_clock::now();
   for (size_t I = 0; I < Steps; ++I) {
     // Drop flows that completed while the clock advanced.
@@ -132,6 +134,8 @@ ChurnResult runChurn(size_t NumFlows, bool SharedCore, size_t Steps,
   ChurnResult R;
   double Seconds = std::chrono::duration<double>(Wall1 - Wall0).count();
   R.StepsPerSec = Seconds > 0.0 ? double(Steps) / Seconds : 0.0;
+  uint64_t SimEvents = Sim.eventsExecuted() - SimEvents0;
+  R.EventsPerSec = Seconds > 0.0 ? double(SimEvents) / Seconds : 0.0;
   uint64_t Events = Net.rebalanceEvents() - Events0;
   uint64_t Demands = Net.rebalanceDemandsSolved() - Demands0;
   R.MeanComponent = Events > 0 ? double(Demands) / double(Events) : 0.0;
@@ -147,7 +151,9 @@ int main() {
                 "one component, not every concurrent flow)");
 
   Table T;
-  T.setHeader({"flows", "topology", "steps/s", "mean component", "max err"});
+  T.setHeader(
+      {"flows", "topology", "steps/s", "events/s", "mean component",
+       "max err"});
   ChurnResult Pairs1k = runChurn(1000, false, 2000, 7);
   ChurnResult Pairs10k = runChurn(10000, false, 2000, 7);
   ChurnResult Core1k = runChurn(1000, true, 1000, 7);
@@ -157,6 +163,7 @@ int main() {
     T.add(static_cast<long long>(Flows));
     T.add(Topo);
     T.add(R.StepsPerSec, 0);
+    T.add(R.EventsPerSec, 0);
     T.add(R.MeanComponent, 1);
     T.add(R.MaxError, 12);
   };

@@ -12,6 +12,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "exp/ExperimentRunner.h"
+#include "exp/MetricSink.h"
+#include "exp/Scenario.h"
 #include "monitor/Forecaster.h"
 #include "net/FairShare.h"
 #include "net/FlowNetwork.h"
@@ -19,11 +22,18 @@
 #include "net/Topology.h"
 #include "sim/Simulator.h"
 #include "support/Random.h"
+#include "support/StringInterner.h"
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 using namespace dgsim;
 
@@ -199,4 +209,203 @@ static void BM_NwsForecasterObserve(benchmark::State &State) {
 }
 BENCHMARK(BM_NwsForecasterObserve);
 
-BENCHMARK_MAIN();
+//===----------------------------------------------------------------------===//
+// Event-kernel microbenches: the indexed heap, periodic re-arming, and the
+// interned string maps these kernels feed.
+//===----------------------------------------------------------------------===//
+
+/// Windowed cancel+reschedule churn: a standing ring of pending events where
+/// every step cancels one and schedules a replacement.  This is the pattern
+/// timeouts and watchdogs produce, and it exercises O(log n) in-place heap
+/// removal — under the old lazy-deletion scheme each cancel left a tombstone
+/// the pop loop had to skip later.
+static void BM_EventChurn(benchmark::State &State) {
+  const size_t Window = State.range(0);
+  Simulator Sim;
+  RandomEngine Rng(5);
+  std::vector<EventId> Ring(Window);
+  // Far-future events: nothing fires, the heap stays at window size.
+  for (EventId &Id : Ring)
+    Id = Sim.schedule(1e6 + Rng.uniform(0, 1000), [] {});
+  size_t Cursor = 0;
+  for (auto _ : State) {
+    Sim.cancel(Ring[Cursor]);
+    Ring[Cursor] = Sim.schedule(1e6 + Rng.uniform(0, 1000), [] {});
+    Cursor = (Cursor + 1) % Window;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_EventChurn)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/// K standing periodics with staggered phases; each iteration advances the
+/// clock one period, so K ticks re-arm without re-allocating their closures.
+static void BM_PeriodicTick(benchmark::State &State) {
+  const size_t K = State.range(0);
+  Simulator Sim;
+  uint64_t Ticks = 0;
+  for (size_t I = 0; I < K; ++I)
+    Sim.schedulePeriodic(1.0, [&Ticks] { ++Ticks; },
+                         double(I + 1) / double(K));
+  for (auto _ : State)
+    Sim.runUntil(Sim.now() + 1.0);
+  benchmark::DoNotOptimize(Ticks);
+  State.SetItemsProcessed(State.iterations() * K);
+}
+BENCHMARK(BM_PeriodicTick)->Arg(100)->Arg(1000);
+
+namespace {
+
+/// Shared key set for the lookup benches: grid-flavoured logical file
+/// names with common prefixes, the worst case for string compares.
+std::vector<std::string> lookupKeys(size_t N) {
+  std::vector<std::string> Keys;
+  Keys.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Keys.push_back("site" + std::to_string(I % 37) + "/dataset/file" +
+                   std::to_string(I));
+  return Keys;
+}
+
+} // namespace
+
+/// Hot-path name resolution through the StringInterner (one hash of the
+/// name, no tree walk, no per-node compares).
+static void BM_InternedLookup(benchmark::State &State) {
+  const size_t N = State.range(0);
+  std::vector<std::string> Keys = lookupKeys(N);
+  StringInterner In;
+  for (const std::string &K : Keys)
+    In.intern(K);
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(In.find(Keys[I]));
+    I = (I + 1) % N;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_InternedLookup)->Arg(1000)->Arg(100000);
+
+/// The ordered-map lookup the interner replaced, kept as the comparison
+/// baseline (O(log n) string compares per query).
+static void BM_OrderedMapLookup(benchmark::State &State) {
+  const size_t N = State.range(0);
+  std::vector<std::string> Keys = lookupKeys(N);
+  std::map<std::string, uint32_t> M;
+  for (size_t I = 0; I < N; ++I)
+    M.emplace(Keys[I], static_cast<uint32_t>(I));
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(M.find(Keys[I]));
+    I = (I + 1) % N;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_OrderedMapLookup)->Arg(1000)->Arg(100000);
+
+//===----------------------------------------------------------------------===//
+// --kernel-json=PATH: fixed-size kernel workloads through the experiment
+// runner, so the sweep benches and this microbench emit the same BENCH_*.json
+// schema and commits can be compared with the same tooling.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+dgsim::exp::TrialResult runKernelTrial(const dgsim::exp::TrialPoint &P) {
+  namespace exp = dgsim::exp;
+  const std::string &Workload = P.param("workload");
+  exp::TrialResult R;
+  auto T0 = std::chrono::steady_clock::now();
+  double Ops = 0.0;
+  uint64_t Events = 0;
+  if (Workload == "event-churn") {
+    constexpr size_t Window = 10000, Steps = 200000;
+    Simulator Sim(P.Seed);
+    RandomEngine Rng(P.Seed);
+    std::vector<EventId> Ring(Window);
+    for (EventId &Id : Ring)
+      Id = Sim.schedule(1e6 + Rng.uniform(0, 1000), [] {});
+    size_t Cursor = 0;
+    for (size_t I = 0; I < Steps; ++I) {
+      Sim.cancel(Ring[Cursor]);
+      Ring[Cursor] = Sim.schedule(1e6 + Rng.uniform(0, 1000), [] {});
+      Cursor = (Cursor + 1) % Window;
+    }
+    Ops = double(Steps);
+    Events = Sim.eventsExecuted();
+  } else if (Workload == "periodic-tick") {
+    constexpr size_t K = 1000;
+    constexpr double Windows = 100.0;
+    Simulator Sim(P.Seed);
+    uint64_t Ticks = 0;
+    for (size_t I = 0; I < K; ++I)
+      Sim.schedulePeriodic(1.0, [&Ticks] { ++Ticks; },
+                           double(I + 1) / double(K));
+    Sim.runUntil(Windows);
+    Ops = double(Ticks);
+    Events = Sim.eventsExecuted();
+  } else { // interned-lookup
+    constexpr size_t N = 20000, Lookups = 2000000;
+    std::vector<std::string> Keys = lookupKeys(N);
+    StringInterner In;
+    for (const std::string &K : Keys)
+      In.intern(K);
+    uint64_t Acc = 0;
+    for (size_t I = 0; I < Lookups; ++I)
+      Acc += In.find(Keys[I % N]);
+    benchmark::DoNotOptimize(Acc);
+    Ops = double(Lookups);
+  }
+  double Wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  R.set("ops_per_sec", Wall > 0.0 ? Ops / Wall : 0.0);
+  R.set("events_per_sec", Wall > 0.0 ? double(Events) / Wall : 0.0);
+  R.set("wall_seconds", Wall);
+  return R;
+}
+
+int writeKernelReport(const std::string &Path) {
+  namespace exp = dgsim::exp;
+  exp::Scenario S;
+  S.Id = "kernel";
+  S.Title = "Event-kernel microbench workloads";
+  S.Axes = {{"workload", {"event-churn", "periodic-tick", "interned-lookup"}}};
+  S.Seeds = {1};
+  S.Metrics = {"ops_per_sec", "events_per_sec", "wall_seconds"};
+  S.Run = runKernelTrial;
+  exp::JsonSink Sink(Path);
+  exp::RunnerOptions Options;
+  Options.Sinks.push_back(&Sink);
+  exp::ExperimentRunner Runner;
+  Runner.run(S, Options);
+  std::printf("kernel report -> %s\n", Path.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // google-benchmark rejects flags it does not know, so the sink flag is
+  // stripped before Initialize sees the argument vector.
+  std::string KernelJson;
+  std::vector<char *> Args;
+  Args.push_back(argv[0]);
+  for (int I = 1; I < argc; ++I) {
+    std::string_view Arg = argv[I];
+    constexpr std::string_view Prefix = "--kernel-json=";
+    if (Arg.substr(0, std::min(Arg.size(), Prefix.size())) == Prefix) {
+      KernelJson = std::string(Arg.substr(Prefix.size()));
+      continue;
+    }
+    Args.push_back(argv[I]);
+  }
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!KernelJson.empty())
+    return writeKernelReport(KernelJson);
+  return 0;
+}

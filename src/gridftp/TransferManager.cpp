@@ -33,6 +33,29 @@ TransferManager::TransferManager(Simulator &Sim, FlowNetwork &Net,
 
 TransferManager::~TransferManager() { Sim.cancelPeriodic(RefreshHandle); }
 
+TransferManager::ActiveTransfer *
+TransferManager::findTransfer(TransferId Id) {
+  auto It = IdToSlot.find(Id);
+  return It == IdToSlot.end() ? nullptr : &Slots[It->second];
+}
+
+void TransferManager::releaseTransfer(TransferId Id) {
+  auto It = IdToSlot.find(Id);
+  assert(It != IdToSlot.end() && "releasing an unknown transfer");
+  uint32_t Slot = It->second;
+  Slots[Slot] = ActiveTransfer(); // Drop closures and stripe vectors.
+  FreeSlots.push_back(Slot);
+  IdToSlot.erase(It);
+  auto Pos = std::lower_bound(
+      ActiveList.begin(), ActiveList.end(), Id,
+      [](const std::pair<TransferId, uint32_t> &P, TransferId V) {
+        return P.first < V;
+      });
+  assert(Pos != ActiveList.end() && Pos->first == Id &&
+         "active list out of sync");
+  ActiveList.erase(Pos);
+}
+
 TransferId TransferManager::submit(const TransferSpec &Spec,
                                    CompletionFn OnComplete) {
   assert(Spec.Destination && "transfers need a destination host");
@@ -93,16 +116,26 @@ TransferId TransferManager::submit(const TransferSpec &Spec,
         transferProtocolName(Spec.Protocol), PrimarySource->name().c_str(),
         Spec.Destination->name().c_str(),
         T.Result.FileBytes / (1024.0 * 1024.0), Spec.Streams, Startup);
-  Active.emplace(Id, std::move(T));
+  uint32_t Slot;
+  if (!FreeSlots.empty()) {
+    Slot = FreeSlots.back();
+    FreeSlots.pop_back();
+    Slots[Slot] = std::move(T);
+  } else {
+    Slot = static_cast<uint32_t>(Slots.size());
+    Slots.push_back(std::move(T));
+  }
+  IdToSlot.emplace(Id, Slot);
+  ActiveList.emplace_back(Id, Slot); // Ids are monotonic: stays sorted.
   Sim.schedule(Startup, [this, Id] { beginData(Id); });
   return Id;
 }
 
 void TransferManager::beginData(TransferId Id) {
-  auto It = Active.find(Id);
-  if (It == Active.end())
+  ActiveTransfer *Found = findTransfer(Id);
+  if (!Found)
     return; // Cancelled during the startup phase.
-  ActiveTransfer &T = It->second;
+  ActiveTransfer &T = *Found;
 
   std::vector<Host *> Sources = T.Spec.Stripes;
   if (Sources.empty())
@@ -135,7 +168,9 @@ void TransferManager::beginData(TransferId Id) {
 
 void TransferManager::startStripeFlow(TransferId Id, size_t StripeIdx,
                                       Bytes Volume) {
-  ActiveTransfer &T = Active.at(Id);
+  ActiveTransfer *Found = findTransfer(Id);
+  assert(Found && "starting a stripe for an unknown transfer");
+  ActiveTransfer &T = *Found;
   Stripe &S = T.StripesLive[StripeIdx];
   FlowOptions Opt;
   Opt.Streams = T.Spec.Streams;
@@ -149,9 +184,9 @@ void TransferManager::startStripeFlow(TransferId Id, size_t StripeIdx,
 }
 
 void TransferManager::onStripeDone(TransferId Id, size_t StripeIdx) {
-  auto It = Active.find(Id);
-  assert(It != Active.end() && "stripe completion for unknown transfer");
-  ActiveTransfer &T = It->second;
+  ActiveTransfer *Found = findTransfer(Id);
+  assert(Found && "stripe completion for unknown transfer");
+  ActiveTransfer &T = *Found;
   Stripe &S = T.StripesLive[StripeIdx];
 
   // Undo this stripe's disk accounting.
@@ -168,7 +203,7 @@ void TransferManager::onStripeDone(TransferId Id, size_t StripeIdx) {
   Result.EndTime = Sim.now();
   Result.DataSeconds = Result.totalSeconds() - Result.StartupSeconds;
   CompletionFn Done = std::move(T.OnComplete);
-  Active.erase(It);
+  releaseTransfer(Id);
   ++Completed;
   trace("#%llu done in %.3f s (%.1f Mb/s mean, %u restart(s))",
         static_cast<unsigned long long>(Result.Id), Result.totalSeconds(),
@@ -178,10 +213,10 @@ void TransferManager::onStripeDone(TransferId Id, size_t StripeIdx) {
 }
 
 bool TransferManager::cancel(TransferId Id) {
-  auto It = Active.find(Id);
-  if (It == Active.end())
+  ActiveTransfer *Found = findTransfer(Id);
+  if (!Found)
     return false;
-  ActiveTransfer &T = It->second;
+  ActiveTransfer &T = *Found;
   for (Stripe &S : T.StripesLive) {
     if (S.Flow == InvalidFlowId)
       continue;
@@ -190,15 +225,15 @@ bool TransferManager::cancel(TransferId Id) {
     T.Spec.Destination->disk().removeTransferLoad(S.AccountedRate);
   }
   trace("#%llu cancelled", static_cast<unsigned long long>(Id));
-  Active.erase(It);
+  releaseTransfer(Id);
   return true;
 }
 
 void TransferManager::injectFailure(TransferId Id) {
-  auto It = Active.find(Id);
-  if (It == Active.end())
+  ActiveTransfer *Found = findTransfer(Id);
+  if (!Found)
     return;
-  ActiveTransfer &T = It->second;
+  ActiveTransfer &T = *Found;
 
   auto Path = Net.routing().path(
       T.StripesLive.empty()
@@ -232,7 +267,7 @@ void TransferManager::injectFailure(TransferId Id) {
     SimTime Delay = Net.tcp().connectTime(*Path) + Path->Rtt;
     Sim.schedule(Delay, [this, Id, I, RetryVolume] {
       // The transfer may have been torn down meanwhile.
-      if (Active.find(Id) == Active.end())
+      if (!findTransfer(Id))
         return;
       startStripeFlow(Id, I, RetryVolume);
     });
@@ -251,25 +286,30 @@ BitRate TransferManager::endpointCap(const Host &Src, const Host &Dst,
 
 unsigned TransferManager::activeReaders(const Host &H) const {
   unsigned N = 0;
-  for (const auto &[Id, T] : Active)
+  for (const auto &[Id, Slot] : ActiveList) {
+    const ActiveTransfer &T = Slots[Slot];
     for (const Stripe &S : T.StripesLive)
       if (S.Flow != InvalidFlowId && S.Source == &H)
         ++N;
+  }
   return N;
 }
 
 unsigned TransferManager::activeWriters(const Host &H) const {
   unsigned N = 0;
-  for (const auto &[Id, T] : Active)
+  for (const auto &[Id, Slot] : ActiveList) {
+    const ActiveTransfer &T = Slots[Slot];
     if (T.Spec.Destination == &H)
       for (const Stripe &S : T.StripesLive)
         if (S.Flow != InvalidFlowId)
           ++N;
+  }
   return N;
 }
 
 void TransferManager::refreshCaps() {
-  for (auto &[Id, T] : Active) {
+  for (auto &[Id, Slot] : ActiveList) {
+    ActiveTransfer &T = Slots[Slot];
     for (Stripe &S : T.StripesLive) {
       if (S.Flow == InvalidFlowId)
         continue;

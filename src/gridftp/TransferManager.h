@@ -32,8 +32,8 @@
 #include "support/Trace.h"
 
 #include <functional>
-#include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 namespace dgsim {
@@ -127,7 +127,7 @@ public:
   bool cancel(TransferId Id);
 
   /// \returns the number of in-flight transfers (startup or data phase).
-  size_t activeTransfers() const { return Active.size(); }
+  size_t activeTransfers() const { return ActiveList.size(); }
 
   /// \returns how many transfers this manager has completed.
   uint64_t completedTransfers() const { return Completed; }
@@ -157,6 +157,8 @@ private:
     size_t StripesRemaining = 0;
   };
 
+  ActiveTransfer *findTransfer(TransferId Id);
+  void releaseTransfer(TransferId Id);
   void beginData(TransferId Id);
   void startStripeFlow(TransferId Id, size_t StripeIdx, Bytes Volume);
   void onStripeDone(TransferId Id, size_t StripeIdx);
@@ -172,7 +174,15 @@ private:
   FlowNetwork &Net;
   ProtocolCosts Costs;
   TraceLog *Trace = nullptr;
-  std::map<TransferId, ActiveTransfer> Active;
+  /// In-flight transfers live in a recycled slot pool; the per-second
+  /// refresh and the reader/writer counts iterate ActiveList, which is
+  /// kept sorted by id (ids are monotonic, so appends preserve order and
+  /// iteration matches the ordered map this replaced — same FP addition
+  /// order, same results).
+  std::vector<ActiveTransfer> Slots;
+  std::vector<uint32_t> FreeSlots;
+  std::unordered_map<TransferId, uint32_t> IdToSlot;
+  std::vector<std::pair<TransferId, uint32_t>> ActiveList;
   TransferId NextId = 1;
   uint64_t Completed = 0;
   EventId RefreshHandle = InvalidEventId;

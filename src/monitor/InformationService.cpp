@@ -24,7 +24,8 @@ InformationService::InformationService(Simulator &Sim, FlowNetwork &Net,
 }
 
 void InformationService::registerHost(const Host &H) {
-  assert(Hosts.find(H.name()) == Hosts.end() && "host already registered");
+  assert(HostIds.find(H.name()) == StringInterner::InvalidId &&
+         "host already registered");
   HostSensors S;
   S.Cpu = std::make_unique<Sensor>(Sim, "cpu/" + H.name(), Config.HostPeriod,
                                    [&H] { return H.cpuIdle(); });
@@ -40,7 +41,10 @@ void InformationService::registerHost(const Host &H) {
   Names.registerSensor(*S.Cpu, "cpu", H.name());
   Names.registerSensor(*S.Io, "io", H.name());
   Names.registerSensor(*S.Mem, "memory", H.name());
-  Hosts.emplace(H.name(), std::move(S));
+  StringInterner::Id Id = HostIds.intern(H.name());
+  assert(Id == Hosts.size() && "intern ids must stay dense");
+  (void)Id;
+  Hosts.push_back(std::move(S));
 }
 
 void InformationService::watchPath(NodeId Client, NodeId Server) {
@@ -121,22 +125,23 @@ SystemFactors InformationService::query(NodeId ClientNode,
   return F;
 }
 
+const InformationService::HostSensors &
+InformationService::hostSensors(const Host &H) const {
+  StringInterner::Id Id = HostIds.find(H.name());
+  assert(Id != StringInterner::InvalidId && "host not registered");
+  return Hosts[Id];
+}
+
 double InformationService::cpuIdle(const Host &H) const {
-  auto It = Hosts.find(H.name());
-  assert(It != Hosts.end() && "host not registered");
-  return It->second.Cpu->lastValue();
+  return hostSensors(H).Cpu->lastValue();
 }
 
 double InformationService::ioIdle(const Host &H) const {
-  auto It = Hosts.find(H.name());
-  assert(It != Hosts.end() && "host not registered");
-  return It->second.Io->lastValue();
+  return hostSensors(H).Io->lastValue();
 }
 
 double InformationService::memFree(const Host &H) const {
-  auto It = Hosts.find(H.name());
-  assert(It != Hosts.end() && "host not registered");
-  return It->second.Mem->lastValue();
+  return hostSensors(H).Mem->lastValue();
 }
 
 const Sensor *InformationService::bandwidthSensor(NodeId Client,

@@ -29,10 +29,12 @@
 #include "monitor/NwsRegistry.h"
 #include "monitor/Sensor.h"
 #include "net/FlowNetwork.h"
+#include "support/StringInterner.h"
 
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 namespace dgsim {
 
@@ -135,13 +137,22 @@ private:
     std::unique_ptr<Sensor> Latency;
   };
 
+  /// \returns the sensors for a registered host (asserts registration).
+  /// Host names resolve through the interner to a dense index; every
+  /// selection-loop factor read is then a vector access.
+  const HostSensors &hostSensors(const Host &H) const;
+
   Simulator &Sim;
   FlowNetwork &Net;
   InformationServiceConfig Config;
   NwsNameserver Names;
   NwsMemory Memory;
-  std::map<std::string, HostSensors> Hosts;
-  std::map<uint64_t, PathSensors> Paths;
+  /// Host name -> dense id; ids index Hosts.
+  StringInterner HostIds;
+  std::vector<HostSensors> Hosts;
+  /// Keyed by (client << 32 | server); never iterated, so hash order is
+  /// fine and lookups are O(1).
+  std::unordered_map<uint64_t, PathSensors> Paths;
 };
 
 } // namespace dgsim

@@ -6,42 +6,51 @@
 
 #include "monitor/NwsRegistry.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace dgsim;
 
 void NwsNameserver::registerSensor(const Sensor &S, std::string Kind,
                                    std::string Resource) {
-  assert(Records.find(S.name()) == Records.end() &&
+  assert(NameIds.find(S.name()) == StringInterner::InvalidId &&
          "duplicate sensor registration");
+  StringInterner::Id Id = NameIds.intern(S.name());
+  assert(Id == Records.size() && "intern ids must stay dense");
+  (void)Id;
   SensorRecord R;
   R.Name = S.name();
   R.Kind = std::move(Kind);
   R.Resource = std::move(Resource);
   R.Instance = &S;
-  Records.emplace(S.name(), std::move(R));
+  Records.push_back(std::move(R));
 }
 
-const SensorRecord *NwsNameserver::lookup(const std::string &Name) const {
-  auto It = Records.find(Name);
-  return It == Records.end() ? nullptr : &It->second;
+const SensorRecord *NwsNameserver::lookup(std::string_view Name) const {
+  StringInterner::Id Id = NameIds.find(Name);
+  return Id == StringInterner::InvalidId ? nullptr : &Records[Id];
 }
 
 std::vector<const SensorRecord *>
-NwsNameserver::byKind(const std::string &Kind) const {
+NwsNameserver::byKind(std::string_view Kind) const {
   std::vector<const SensorRecord *> Result;
-  for (const auto &[Name, R] : Records)
+  for (const SensorRecord &R : Records)
     if (R.Kind == Kind)
       Result.push_back(&R);
+  // Records sit in registration order; the contract is name order.
+  std::sort(Result.begin(), Result.end(),
+            [](const SensorRecord *A, const SensorRecord *B) {
+              return A->Name < B->Name;
+            });
   return Result;
 }
 
-const TimeSeries *NwsMemory::series(const std::string &SensorName) const {
+const TimeSeries *NwsMemory::series(std::string_view SensorName) const {
   const SensorRecord *R = Names.lookup(SensorName);
   return R ? &R->Instance->history() : nullptr;
 }
 
-double NwsMemory::latestValue(const std::string &SensorName,
+double NwsMemory::latestValue(std::string_view SensorName,
                               double Fallback) const {
   const TimeSeries *TS = series(SensorName);
   if (!TS || TS->empty())

@@ -22,9 +22,11 @@
 #define DGSIM_MONITOR_NWSREGISTRY_H
 
 #include "monitor/Sensor.h"
+#include "support/StringInterner.h"
 
-#include <map>
+#include <deque>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace dgsim {
@@ -44,16 +46,22 @@ public:
   void registerSensor(const Sensor &S, std::string Kind,
                       std::string Resource);
 
-  /// \returns the record for \p Name, or nullptr when unknown.
-  const SensorRecord *lookup(const std::string &Name) const;
+  /// \returns the record for \p Name, or nullptr when unknown.  Resolves
+  /// through the interner, so the hot monitoring path pays one hash of the
+  /// name instead of a red-black-tree walk of string compares.
+  const SensorRecord *lookup(std::string_view Name) const;
 
   /// \returns all records of the given kind, name-ordered.
-  std::vector<const SensorRecord *> byKind(const std::string &Kind) const;
+  std::vector<const SensorRecord *> byKind(std::string_view Kind) const;
 
   size_t size() const { return Records.size(); }
 
 private:
-  std::map<std::string, SensorRecord> Records;
+  /// Sensor name -> dense id; ids index Records.
+  StringInterner NameIds;
+  /// Deque: lookup() hands out pointers, so records must not move on
+  /// registration.
+  std::deque<SensorRecord> Records;
 };
 
 /// Persistent measurement storage: resolves a sensor name to its series.
@@ -63,10 +71,10 @@ public:
 
   /// \returns the stored series for \p SensorName, or nullptr when the
   /// sensor is unknown.
-  const TimeSeries *series(const std::string &SensorName) const;
+  const TimeSeries *series(std::string_view SensorName) const;
 
   /// \returns the latest value, or \p Fallback when no samples exist.
-  double latestValue(const std::string &SensorName,
+  double latestValue(std::string_view SensorName,
                      double Fallback = 0.0) const;
 
 private:

@@ -8,8 +8,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 #include <limits>
-#include <queue>
 
 using namespace dgsim;
 
@@ -34,23 +34,33 @@ const std::optional<NetPath> &Routing::lookup(NodeId Src, NodeId Dst) {
     return It->second;
 
   // Dijkstra by (delay, hops).  Node count is small (tens to hundreds), so a
-  // binary-heap implementation is plenty.
+  // binary-heap implementation is plenty.  The scratch vectors persist
+  // across queries: after the first cache miss at a given topology size,
+  // route computation does not allocate.
   const double Inf = std::numeric_limits<double>::infinity();
   size_t N = Topo.nodeCount();
-  std::vector<double> Dist(N, Inf);
-  std::vector<uint32_t> Hops(N, ~0u);
-  std::vector<ChannelId> Via(N, ~0u); // Channel used to enter each node.
-  std::vector<NodeId> Prev(N, InvalidNodeId);
+  std::vector<double> &Dist = Scratch.Dist;
+  std::vector<uint32_t> &Hops = Scratch.Hops;
+  std::vector<ChannelId> &Via = Scratch.Via; // Channel entering each node.
+  std::vector<NodeId> &Prev = Scratch.Prev;
+  Dist.assign(N, Inf);
+  Hops.assign(N, ~0u);
+  Via.assign(N, ~0u);
+  Prev.assign(N, InvalidNodeId);
 
+  // push_heap/pop_heap with std::greater is exactly what the old
+  // std::priority_queue did, so pop order — including ties — matches.
   using QEntry = std::tuple<double, uint32_t, NodeId>;
-  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> Q;
+  std::vector<QEntry> &Q = Scratch.Heap;
+  Q.clear();
   Dist[Src] = 0.0;
   Hops[Src] = 0;
-  Q.push({0.0, 0, Src});
+  Q.push_back({0.0, 0, Src});
 
   while (!Q.empty()) {
-    auto [D, H, U] = Q.top();
-    Q.pop();
+    std::pop_heap(Q.begin(), Q.end(), std::greater<QEntry>());
+    auto [D, H, U] = Q.back();
+    Q.pop_back();
     if (D > Dist[U] || (D == Dist[U] && H > Hops[U]))
       continue;
     if (U == Dst)
@@ -65,7 +75,8 @@ const std::optional<NetPath> &Routing::lookup(NodeId Src, NodeId Dst) {
         Hops[V] = NH;
         Prev[V] = U;
         Via[V] = Topo.channelFrom(L, U);
-        Q.push({ND, NH, V});
+        Q.push_back({ND, NH, V});
+        std::push_heap(Q.begin(), Q.end(), std::greater<QEntry>());
       }
     }
   }

@@ -18,6 +18,7 @@
 #include "net/Topology.h"
 
 #include <optional>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -62,6 +63,19 @@ private:
 
   const Topology &Topo;
   std::unordered_map<uint64_t, std::optional<NetPath>> Cache;
+
+  /// Dijkstra working set, reused across cache misses so repeated route
+  /// computation stops allocating once the vectors reach node-count size.
+  /// The heap entries keep the (delay, hops, node) ordering the old
+  /// priority_queue used, so equal-cost tie-breaks are unchanged.
+  struct DijkstraScratch {
+    std::vector<double> Dist;
+    std::vector<uint32_t> Hops;
+    std::vector<ChannelId> Via;
+    std::vector<NodeId> Prev;
+    std::vector<std::tuple<double, uint32_t, NodeId>> Heap;
+  };
+  DijkstraScratch Scratch;
 };
 
 } // namespace dgsim

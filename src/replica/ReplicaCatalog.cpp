@@ -11,41 +11,55 @@
 
 using namespace dgsim;
 
-void ReplicaCatalog::registerFile(const std::string &Lfn, Bytes Size) {
+const LogicalFile *ReplicaCatalog::findFile(std::string_view Lfn) const {
+  StringInterner::Id Id = LfnIds.find(Lfn);
+  return Id == StringInterner::InvalidId ? nullptr : &Files[Id];
+}
+
+LogicalFile *ReplicaCatalog::findFile(std::string_view Lfn) {
+  StringInterner::Id Id = LfnIds.find(Lfn);
+  return Id == StringInterner::InvalidId ? nullptr : &Files[Id];
+}
+
+void ReplicaCatalog::registerFile(std::string_view Lfn, Bytes Size) {
   assert(!Lfn.empty() && "logical file names must be non-empty");
   assert(Size > 0.0 && "logical files need a positive size");
-  assert(Files.find(Lfn) == Files.end() && "duplicate logical file");
+  assert(LfnIds.find(Lfn) == StringInterner::InvalidId &&
+         "duplicate logical file");
+  StringInterner::Id Id = LfnIds.intern(Lfn);
+  assert(Id == Files.size() && "intern ids must stay dense");
+  (void)Id;
   LogicalFile F;
-  F.Name = Lfn;
+  F.Name = std::string(Lfn);
   F.Size = Size;
-  Files.emplace(Lfn, std::move(F));
+  Files.push_back(std::move(F));
 }
 
-bool ReplicaCatalog::hasFile(const std::string &Lfn) const {
-  return Files.find(Lfn) != Files.end();
+bool ReplicaCatalog::hasFile(std::string_view Lfn) const {
+  return findFile(Lfn) != nullptr;
 }
 
-Bytes ReplicaCatalog::fileSize(const std::string &Lfn) const {
-  auto It = Files.find(Lfn);
-  assert(It != Files.end() && "unknown logical file");
-  return It->second.Size;
+Bytes ReplicaCatalog::fileSize(std::string_view Lfn) const {
+  const LogicalFile *F = findFile(Lfn);
+  assert(F && "unknown logical file");
+  return F->Size;
 }
 
-void ReplicaCatalog::addReplica(const std::string &Lfn, Host &Location) {
-  auto It = Files.find(Lfn);
-  assert(It != Files.end() && "replica of an unregistered file");
-  auto &Locs = It->second.Locations;
+void ReplicaCatalog::addReplica(std::string_view Lfn, Host &Location) {
+  LogicalFile *F = findFile(Lfn);
+  assert(F && "replica of an unregistered file");
+  auto &Locs = F->Locations;
   if (std::find(Locs.begin(), Locs.end(), &Location) != Locs.end())
     return;
   Locs.push_back(&Location);
 }
 
-bool ReplicaCatalog::removeReplica(const std::string &Lfn,
+bool ReplicaCatalog::removeReplica(std::string_view Lfn,
                                    const Host &Location) {
-  auto It = Files.find(Lfn);
-  if (It == Files.end())
+  LogicalFile *F = findFile(Lfn);
+  if (!F)
     return false;
-  auto &Locs = It->second.Locations;
+  auto &Locs = F->Locations;
   auto Pos = std::find(Locs.begin(), Locs.end(), &Location);
   if (Pos == Locs.end())
     return false;
@@ -53,18 +67,18 @@ bool ReplicaCatalog::removeReplica(const std::string &Lfn,
   return true;
 }
 
-std::vector<Host *> ReplicaCatalog::locate(const std::string &Lfn) const {
-  auto It = Files.find(Lfn);
-  if (It == Files.end())
+std::vector<Host *> ReplicaCatalog::locate(std::string_view Lfn) const {
+  const LogicalFile *F = findFile(Lfn);
+  if (!F)
     return {};
-  return It->second.Locations;
+  return F->Locations;
 }
 
-Host *ReplicaCatalog::replicaAt(const std::string &Lfn, NodeId Node) const {
-  auto It = Files.find(Lfn);
-  if (It == Files.end())
+Host *ReplicaCatalog::replicaAt(std::string_view Lfn, NodeId Node) const {
+  const LogicalFile *F = findFile(Lfn);
+  if (!F)
     return nullptr;
-  for (Host *H : It->second.Locations)
+  for (Host *H : F->Locations)
     if (H->node() == Node)
       return H;
   return nullptr;
@@ -73,7 +87,9 @@ Host *ReplicaCatalog::replicaAt(const std::string &Lfn, NodeId Node) const {
 std::vector<std::string> ReplicaCatalog::listFiles() const {
   std::vector<std::string> Names;
   Names.reserve(Files.size());
-  for (const auto &[Name, F] : Files)
-    Names.push_back(Name);
+  for (const LogicalFile &F : Files)
+    Names.push_back(F.Name);
+  // Files sit in registration order; the contract is sorted names.
+  std::sort(Names.begin(), Names.end());
   return Names;
 }

@@ -18,10 +18,11 @@
 #define DGSIM_REPLICA_REPLICACATALOG_H
 
 #include "host/Host.h"
+#include "support/StringInterner.h"
 #include "support/Units.h"
 
-#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace dgsim {
@@ -34,30 +35,32 @@ struct LogicalFile {
   std::vector<Host *> Locations;
 };
 
-/// The catalog service.
+/// The catalog service.  Logical file names are interned to dense ids on
+/// registration; every lookup is one hash of the name plus a vector access,
+/// and the per-job selection loop hits this on each locate().
 class ReplicaCatalog {
 public:
   /// Registers a logical file.  Names must be unique and sizes positive.
-  void registerFile(const std::string &Lfn, Bytes Size);
+  void registerFile(std::string_view Lfn, Bytes Size);
 
   /// \returns true when \p Lfn is registered.
-  bool hasFile(const std::string &Lfn) const;
+  bool hasFile(std::string_view Lfn) const;
 
   /// \returns the file size; the file must be registered.
-  Bytes fileSize(const std::string &Lfn) const;
+  Bytes fileSize(std::string_view Lfn) const;
 
   /// Registers a replica of \p Lfn on \p Location.  Duplicate
   /// registrations are ignored.
-  void addReplica(const std::string &Lfn, Host &Location);
+  void addReplica(std::string_view Lfn, Host &Location);
 
   /// Unregisters a replica.  \returns true when one was removed.
-  bool removeReplica(const std::string &Lfn, const Host &Location);
+  bool removeReplica(std::string_view Lfn, const Host &Location);
 
   /// \returns the hosts holding \p Lfn (empty when none or unknown).
-  std::vector<Host *> locate(const std::string &Lfn) const;
+  std::vector<Host *> locate(std::string_view Lfn) const;
 
   /// \returns the replica of \p Lfn residing at \p Node, or nullptr.
-  Host *replicaAt(const std::string &Lfn, NodeId Node) const;
+  Host *replicaAt(std::string_view Lfn, NodeId Node) const;
 
   /// \returns all logical file names, sorted.
   std::vector<std::string> listFiles() const;
@@ -65,7 +68,12 @@ public:
   size_t fileCount() const { return Files.size(); }
 
 private:
-  std::map<std::string, LogicalFile> Files;
+  const LogicalFile *findFile(std::string_view Lfn) const;
+  LogicalFile *findFile(std::string_view Lfn);
+
+  /// Logical file name -> dense id; ids index Files.
+  StringInterner LfnIds;
+  std::vector<LogicalFile> Files;
 };
 
 } // namespace dgsim

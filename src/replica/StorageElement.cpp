@@ -6,6 +6,7 @@
 
 #include "replica/StorageElement.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace dgsim;
@@ -28,56 +29,77 @@ StorageElement::StorageElement(Host &Owner, Bytes Capacity)
   assert(Capacity > 0.0 && "storage elements need positive capacity");
 }
 
-bool StorageElement::contains(const std::string &Lfn) const {
-  return Entries.find(Lfn) != Entries.end();
+const StorageElement::Entry *
+StorageElement::findEntry(std::string_view Lfn) const {
+  StringInterner::Id Id = LfnIds.find(Lfn);
+  if (Id == StringInterner::InvalidId || !Entries[Id].Present)
+    return nullptr;
+  return &Entries[Id];
 }
 
-void StorageElement::touch(const std::string &Lfn, SimTime Now) {
-  auto It = Entries.find(Lfn);
-  if (It == Entries.end())
+StorageElement::Entry *StorageElement::findEntry(std::string_view Lfn) {
+  StringInterner::Id Id = LfnIds.find(Lfn);
+  if (Id == StringInterner::InvalidId || !Entries[Id].Present)
+    return nullptr;
+  return &Entries[Id];
+}
+
+bool StorageElement::contains(std::string_view Lfn) const {
+  return findEntry(Lfn) != nullptr;
+}
+
+void StorageElement::touch(std::string_view Lfn, SimTime Now) {
+  Entry *E = findEntry(Lfn);
+  if (!E)
     return;
-  It->second.LastAccess = Now;
-  ++It->second.AccessCount;
+  E->LastAccess = Now;
+  ++E->AccessCount;
 }
 
-void StorageElement::add(const std::string &Lfn, Bytes Size, SimTime Now) {
+void StorageElement::add(std::string_view Lfn, Bytes Size, SimTime Now) {
   assert(Size >= 0.0 && "negative file size");
   assert(!contains(Lfn) && "file already stored");
   assert(Used + Size <= Capacity * (1.0 + 1e-9) &&
          "storing beyond capacity; call ensureSpace first");
-  Entry E;
+  StringInterner::Id Id = LfnIds.intern(Lfn);
+  if (Id == Entries.size())
+    Entries.emplace_back();
+  Entry &E = Entries[Id];
   E.Size = Size;
   E.LastAccess = Now;
   E.AccessCount = 1;
-  Entries.emplace(Lfn, E);
+  E.Pinned = false;
+  E.Present = true;
+  ++LiveCount;
   Used += Size;
 }
 
-bool StorageElement::remove(const std::string &Lfn) {
-  auto It = Entries.find(Lfn);
-  if (It == Entries.end())
+bool StorageElement::remove(std::string_view Lfn) {
+  Entry *E = findEntry(Lfn);
+  if (!E)
     return false;
-  Used -= It->second.Size;
+  Used -= E->Size;
   if (Used < 0.0)
     Used = 0.0;
-  Entries.erase(It);
+  E->Present = false;
+  --LiveCount;
   return true;
 }
 
-void StorageElement::setPinned(const std::string &Lfn, bool Pinned) {
-  auto It = Entries.find(Lfn);
-  assert(It != Entries.end() && "pinning an absent file");
-  It->second.Pinned = Pinned;
+void StorageElement::setPinned(std::string_view Lfn, bool Pinned) {
+  Entry *E = findEntry(Lfn);
+  assert(E && "pinning an absent file");
+  E->Pinned = Pinned;
 }
 
-bool StorageElement::pinned(const std::string &Lfn) const {
-  auto It = Entries.find(Lfn);
-  return It != Entries.end() && It->second.Pinned;
+bool StorageElement::pinned(std::string_view Lfn) const {
+  const Entry *E = findEntry(Lfn);
+  return E && E->Pinned;
 }
 
-uint64_t StorageElement::accessCount(const std::string &Lfn) const {
-  auto It = Entries.find(Lfn);
-  return It == Entries.end() ? 0 : It->second.AccessCount;
+uint64_t StorageElement::accessCount(std::string_view Lfn) const {
+  const Entry *E = findEntry(Lfn);
+  return E ? E->AccessCount : 0;
 }
 
 std::string StorageElement::pickVictim(
@@ -85,24 +107,34 @@ std::string StorageElement::pickVictim(
     const std::function<bool(const std::string &)> &CanEvict) const {
   if (Policy == EvictionPolicy::None)
     return {};
+  // Entries sit in intern order, but eviction must be deterministic under
+  // any insertion history: ties on the policy metric break towards the
+  // lexicographically smallest name (what the ordered-map scan used to
+  // yield implicitly).
   const std::string *Victim = nullptr;
   const Entry *VictimEntry = nullptr;
-  for (const auto &[Lfn, E] : Entries) {
-    if (E.Pinned)
+  for (StringInterner::Id Id = 0; Id < Entries.size(); ++Id) {
+    const Entry &E = Entries[Id];
+    if (!E.Present || E.Pinned)
       continue;
+    const std::string &Lfn = LfnIds.name(Id);
     if (CanEvict && !CanEvict(Lfn))
       continue;
     bool Better = false;
+    bool Tie = false;
     if (!VictimEntry) {
       Better = true;
     } else if (Policy == EvictionPolicy::Lru) {
       Better = E.LastAccess < VictimEntry->LastAccess;
+      Tie = E.LastAccess == VictimEntry->LastAccess;
     } else { // Lfu
       Better = E.AccessCount < VictimEntry->AccessCount ||
                (E.AccessCount == VictimEntry->AccessCount &&
                 E.LastAccess < VictimEntry->LastAccess);
+      Tie = E.AccessCount == VictimEntry->AccessCount &&
+            E.LastAccess == VictimEntry->LastAccess;
     }
-    if (Better) {
+    if (Better || (Tie && Lfn < *Victim)) {
       Victim = &Lfn;
       VictimEntry = &E;
     }
@@ -112,9 +144,11 @@ std::string StorageElement::pickVictim(
 
 std::vector<std::string> StorageElement::files() const {
   std::vector<std::string> Names;
-  Names.reserve(Entries.size());
-  for (const auto &[Lfn, E] : Entries)
-    Names.push_back(Lfn);
+  Names.reserve(LiveCount);
+  for (StringInterner::Id Id = 0; Id < Entries.size(); ++Id)
+    if (Entries[Id].Present)
+      Names.push_back(LfnIds.name(Id));
+  std::sort(Names.begin(), Names.end());
   return Names;
 }
 

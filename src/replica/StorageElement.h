@@ -22,10 +22,12 @@
 #define DGSIM_REPLICA_STORAGEELEMENT_H
 
 #include "replica/ReplicaCatalog.h"
+#include "support/StringInterner.h"
 
 #include <functional>
-#include <map>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace dgsim {
@@ -53,28 +55,28 @@ public:
   Bytes capacity() const { return Capacity; }
   Bytes usedBytes() const { return Used; }
   Bytes freeBytes() const { return Capacity - Used; }
-  size_t fileCount() const { return Entries.size(); }
+  size_t fileCount() const { return LiveCount; }
 
   /// \returns true when \p Lfn is stored here.
-  bool contains(const std::string &Lfn) const;
+  bool contains(std::string_view Lfn) const;
 
   /// Records an access (updates LRU recency and LFU frequency).
   /// No-op when the file is absent.
-  void touch(const std::string &Lfn, SimTime Now);
+  void touch(std::string_view Lfn, SimTime Now);
 
   /// Adds a file.  The caller must have made space; storing beyond
   /// capacity or storing a duplicate is a programming error.
-  void add(const std::string &Lfn, Bytes Size, SimTime Now);
+  void add(std::string_view Lfn, Bytes Size, SimTime Now);
 
   /// Removes a file.  \returns true when it was present.
-  bool remove(const std::string &Lfn);
+  bool remove(std::string_view Lfn);
 
   /// Pins a file (never evicted) or releases the pin.
-  void setPinned(const std::string &Lfn, bool Pinned);
-  bool pinned(const std::string &Lfn) const;
+  void setPinned(std::string_view Lfn, bool Pinned);
+  bool pinned(std::string_view Lfn) const;
 
   /// \returns the access count of \p Lfn (0 when absent).
-  uint64_t accessCount(const std::string &Lfn) const;
+  uint64_t accessCount(std::string_view Lfn) const;
 
   /// \returns the eviction victim under \p Policy among unpinned files,
   /// or an empty string when none qualifies.  \p KeepSafe filters
@@ -92,12 +94,21 @@ private:
     SimTime LastAccess = 0.0;
     uint64_t AccessCount = 0;
     bool Pinned = false;
+    /// Files come and go under eviction; a dead entry keeps its interned
+    /// slot (names are never forgotten) and is skipped by scans.
+    bool Present = false;
   };
+
+  const Entry *findEntry(std::string_view Lfn) const;
+  Entry *findEntry(std::string_view Lfn);
 
   Host &Owner;
   Bytes Capacity;
   Bytes Used = 0.0;
-  std::map<std::string, Entry> Entries;
+  size_t LiveCount = 0;
+  /// File name -> dense id; ids index Entries.
+  StringInterner LfnIds;
+  std::vector<Entry> Entries;
 };
 
 /// Site-wide coordinator: storage elements + catalog consistency.
@@ -137,7 +148,9 @@ public:
 private:
   ReplicaCatalog &Catalog;
   EvictionPolicy Policy;
-  std::map<const Host *, StorageElement> Stores;
+  /// Node-based, so attachStore never invalidates handed-out pointers;
+  /// never iterated, so hash order is fine.
+  std::unordered_map<const Host *, StorageElement> Stores;
   uint64_t Evictions = 0;
 };
 

@@ -1,0 +1,82 @@
+//===- support/StringInterner.h - Dense ids for entity names --------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings into dense uint32 ids.
+///
+/// Host, site and logical-file names are fixed at topology-build time but
+/// used as keys on every monitoring probe and catalog lookup.  Interning
+/// turns those string-keyed red-black trees into vector indexing: subsystems
+/// key their hot tables by Id and keep the string only at the API boundary
+/// (tables, JSON, traces).  Ids are handed out contiguously from 0, so a
+/// plain std::vector indexed by Id is the natural companion map.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_SUPPORT_STRINGINTERNER_H
+#define DGSIM_SUPPORT_STRINGINTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dgsim {
+
+/// Bidirectional string <-> dense-id map.  Ids are stable for the interner's
+/// lifetime; names are never forgotten (entity sets only grow in a run).
+class StringInterner {
+public:
+  using Id = uint32_t;
+  static constexpr Id InvalidId = ~Id(0);
+
+  /// \returns the id for \p S, interning it on first sight.
+  Id intern(std::string_view S) {
+    auto It = Map.find(S);
+    if (It != Map.end())
+      return It->second;
+    Id New = Id(Names.size());
+    auto [Pos, Inserted] = Map.emplace(std::string(S), New);
+    assert(Inserted);
+    (void)Inserted;
+    // unordered_map keys are node-stable, so the pointer survives rehashing.
+    Names.push_back(&Pos->first);
+    return New;
+  }
+
+  /// \returns the id for \p S, or InvalidId when never interned.  Accepts a
+  /// string_view so lookups never materialize a std::string.
+  Id find(std::string_view S) const {
+    auto It = Map.find(S);
+    return It == Map.end() ? InvalidId : It->second;
+  }
+
+  /// \returns the name interned as \p I.
+  const std::string &name(Id I) const {
+    assert(I < Names.size() && "unknown intern id");
+    return *Names[I];
+  }
+
+  size_t size() const { return Names.size(); }
+
+private:
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view S) const {
+      return std::hash<std::string_view>{}(S);
+    }
+  };
+
+  std::unordered_map<std::string, Id, Hash, std::equal_to<>> Map;
+  std::vector<const std::string *> Names;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_SUPPORT_STRINGINTERNER_H

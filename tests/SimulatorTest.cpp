@@ -8,6 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+#include <vector>
+
 using namespace dgsim;
 
 TEST(Simulator, StartsAtTimeZero) {
@@ -216,4 +220,192 @@ TEST(Simulator, ManyEventsStressOrder) {
   Sim.run();
   EXPECT_TRUE(Monotone);
   EXPECT_EQ(Sim.eventsExecuted(), 5000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Indexed-heap edge cases: in-flight cancellation and handle reuse
+//===----------------------------------------------------------------------===//
+
+TEST(Simulator, CancelFromInsideFiringEvent) {
+  // A fires at the same timestamp as B but earlier in FIFO order, and
+  // cancels B while the kernel is mid-pop: B must never run.
+  Simulator Sim;
+  bool BFired = false;
+  EventId B = InvalidEventId;
+  Sim.schedule(1.0, [&] { EXPECT_TRUE(Sim.cancel(B)); });
+  B = Sim.schedule(1.0, [&] { BFired = true; });
+  Sim.run();
+  EXPECT_FALSE(BFired);
+  EXPECT_EQ(Sim.eventsExecuted(), 1u);
+}
+
+TEST(Simulator, CancelSelfWhileFiringIsNoop) {
+  // The slot is released before the closure runs, so a self-cancel sees a
+  // stale handle and reports false instead of corrupting the heap.
+  Simulator Sim;
+  EventId Self = InvalidEventId;
+  bool Ran = false;
+  Self = Sim.schedule(1.0, [&] {
+    Ran = true;
+    EXPECT_FALSE(Sim.cancel(Self));
+  });
+  Sim.run();
+  EXPECT_TRUE(Ran);
+}
+
+TEST(Simulator, CancelOfAlreadyPoppedIdIsNoop) {
+  Simulator Sim;
+  EventId Id = Sim.schedule(1.0, [] {});
+  Sim.run();
+  EXPECT_FALSE(Sim.cancel(Id));
+  EXPECT_FALSE(Sim.cancel(Id)); // Idempotent.
+}
+
+TEST(Simulator, GenerationReuseStaleCancel) {
+  // After an event fires, its slot is recycled with a bumped generation:
+  // the old handle must not cancel the new occupant.
+  Simulator Sim;
+  EventId Id1 = Sim.schedule(1.0, [] {});
+  Sim.runUntil(2.0);
+
+  bool SecondFired = false;
+  EventId Id2 = Sim.schedule(1.0, [&] { SecondFired = true; });
+  EXPECT_NE(Id1, Id2); // Same slot, different generation.
+  EXPECT_FALSE(Sim.cancel(Id1));
+  Sim.run();
+  EXPECT_TRUE(SecondFired);
+}
+
+TEST(Simulator, MoveOnlyCaptureInCallback) {
+  Simulator Sim;
+  auto Payload = std::make_unique<int>(42);
+  int Seen = 0;
+  Sim.schedule(1.0, [P = std::move(Payload), &Seen] { Seen = *P; });
+  Sim.run();
+  EXPECT_EQ(Seen, 42);
+}
+
+TEST(Simulator, EventSlotChurnDoesNotGrow) {
+  // Schedule/cancel churn must recycle slots through the free list, not
+  // grow the slot table without bound.
+  Simulator Sim;
+  for (int I = 0; I < 10000; ++I) {
+    EventId Id = Sim.schedule(1.0, [] {});
+    EXPECT_TRUE(Sim.cancel(Id));
+  }
+  EXPECT_LE(Sim.eventSlotCount(), 2u);
+  EXPECT_EQ(Sim.pendingEvents(), 0u);
+}
+
+TEST(Simulator, InterleavedCancelKeepsHeapConsistent) {
+  // Cancel every other event out of a large batch, then verify the
+  // survivors run in time order with nothing lost or duplicated.
+  Simulator Sim;
+  std::vector<EventId> Ids;
+  std::vector<int> Fired;
+  for (int I = 0; I < 1000; ++I)
+    Ids.push_back(Sim.schedule(1.0 + (I % 97) * 0.5, [&Fired, I] {
+      Fired.push_back(I);
+    }));
+  for (size_t I = 0; I < Ids.size(); I += 2)
+    EXPECT_TRUE(Sim.cancel(Ids[I]));
+  Sim.run();
+  EXPECT_EQ(Fired.size(), 500u);
+  double LastTime = -1.0;
+  (void)LastTime;
+  for (int I : Fired)
+    EXPECT_EQ(I % 2, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Periodic slot reuse
+//===----------------------------------------------------------------------===//
+
+TEST(Simulator, PeriodicCancelThenRescheduleOrdering) {
+  // A cancelled periodic's slot may be reused immediately; the stale
+  // handle must not affect the new periodic.
+  Simulator Sim;
+  int OldTicks = 0, NewTicks = 0;
+  EventId Old = Sim.schedulePeriodic(1.0, [&] { ++OldTicks; });
+  Sim.runUntil(2.5); // Old ticks at 0, 1, 2.
+  EXPECT_TRUE(Sim.cancelPeriodic(Old));
+
+  EventId Fresh = Sim.schedulePeriodic(1.0, [&] { ++NewTicks; });
+  EXPECT_NE(Old, Fresh);
+  EXPECT_FALSE(Sim.cancelPeriodic(Old)); // Stale: generation mismatch.
+  Sim.runUntil(5.0);
+  EXPECT_EQ(OldTicks, 3);
+  EXPECT_EQ(NewTicks, 3); // Ticks at 2.5, 3.5, 4.5.
+  EXPECT_TRUE(Sim.cancelPeriodic(Fresh));
+}
+
+TEST(Simulator, PeriodicChurnDoesNotGrow) {
+  // Regression test for the leak this kernel rework fixed: cancelPeriodic
+  // used to strand PeriodicState entries forever.
+  Simulator Sim;
+  for (int I = 0; I < 10000; ++I) {
+    EventId Id = Sim.schedulePeriodic(1.0, [] {});
+    EXPECT_TRUE(Sim.cancelPeriodic(Id));
+  }
+  EXPECT_LE(Sim.periodicSlotCount(), 2u);
+  EXPECT_LE(Sim.eventSlotCount(), 2u);
+  Sim.runUntil(10.0); // Nothing left to fire.
+  EXPECT_EQ(Sim.eventsExecuted(), 0u);
+}
+
+TEST(Simulator, PeriodicRescheduleFromOwnCallback) {
+  // Cancel-then-reschedule from inside the firing tick: self-cancel stops
+  // the activity (the already-armed next tick is killed before it fires)
+  // and the replacement periodic — which may reuse the freed slot — keeps
+  // its own cadence.
+  Simulator Sim;
+  int FastTicks = 0, SlowTicks = 0;
+  EventId Fast = InvalidEventId;
+  Fast = Sim.schedulePeriodic(1.0, [&] {
+    ++FastTicks;
+    if (FastTicks == 2) {
+      EXPECT_TRUE(Sim.cancelPeriodic(Fast));
+      Sim.schedulePeriodic(4.0, [&] { ++SlowTicks; });
+    }
+  });
+  Sim.runUntil(10.5);
+  // Fast ticks at 0 and 1, then cancels itself mid-fire.
+  EXPECT_EQ(FastTicks, 2);
+  // The slow one starts at t=1: ticks at 1, 5, 9.
+  EXPECT_EQ(SlowTicks, 3);
+}
+
+//===----------------------------------------------------------------------===//
+// EventCallback storage
+//===----------------------------------------------------------------------===//
+
+TEST(EventCallback, SmallCapturesStayInline) {
+  uint64_t Before = EventCallback::heapFallbacks();
+  Simulator Sim;
+  int A = 0, B = 0, C = 0;
+  double X = 1.0;
+  // 3 pointers + a double: well under the inline budget.
+  Sim.schedule(1.0, [&A, &B, &C, X] { A = B + C + int(X); });
+  Sim.run();
+  EXPECT_EQ(EventCallback::heapFallbacks(), Before);
+}
+
+TEST(EventCallback, OversizedCapturesFallBackToHeap) {
+  uint64_t Before = EventCallback::heapFallbacks();
+  std::array<char, 128> Big{};
+  Big[0] = 7;
+  EventCallback Cb([Big] { (void)Big; });
+  EXPECT_EQ(EventCallback::heapFallbacks(), Before + 1);
+  Cb();
+}
+
+TEST(EventCallback, MoveTransfersOwnership) {
+  auto P = std::make_unique<int>(5);
+  int Seen = 0;
+  EventCallback A([P = std::move(P), &Seen] { Seen = *P; });
+  EventCallback B(std::move(A));
+  EXPECT_FALSE(static_cast<bool>(A));
+  EXPECT_TRUE(static_cast<bool>(B));
+  B();
+  EXPECT_EQ(Seen, 5);
 }

@@ -6,6 +6,7 @@
 
 #include "support/Random.h"
 #include "support/Statistics.h"
+#include "support/StringInterner.h"
 #include "support/Table.h"
 #include "support/TimeSeries.h"
 #include "support/Units.h"
@@ -368,4 +369,55 @@ TEST(Fmt, HumanReadable) {
   EXPECT_EQ(fmt::percent(0.875), "87.5%");
   EXPECT_EQ(fmt::fixed(3.14159, 3), "3.142");
   EXPECT_EQ(fmt::seconds(75.0), "1m15.0s");
+}
+
+//===----------------------------------------------------------------------===//
+// StringInterner
+//===----------------------------------------------------------------------===//
+
+TEST(StringInterner, AssignsDenseIdsInOrder) {
+  StringInterner In;
+  EXPECT_EQ(In.intern("alpha"), 0u);
+  EXPECT_EQ(In.intern("beta"), 1u);
+  EXPECT_EQ(In.intern("gamma"), 2u);
+  EXPECT_EQ(In.size(), 3u);
+}
+
+TEST(StringInterner, InternIsIdempotent) {
+  StringInterner In;
+  StringInterner::Id A = In.intern("file.dat");
+  StringInterner::Id B = In.intern("file.dat");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(In.size(), 1u);
+}
+
+TEST(StringInterner, FindWithoutInserting) {
+  StringInterner In;
+  EXPECT_EQ(In.find("missing"), StringInterner::InvalidId);
+  StringInterner::Id Id = In.intern("present");
+  EXPECT_EQ(In.find("present"), Id);
+  EXPECT_EQ(In.size(), 1u); // find never inserts.
+  EXPECT_EQ(In.find("missing"), StringInterner::InvalidId);
+}
+
+TEST(StringInterner, HeterogeneousLookupFromStringView) {
+  // find/intern accept string_view without building a temporary string;
+  // a view into a larger buffer must match the interned key.
+  StringInterner In;
+  In.intern("cpu/host3");
+  std::string Buffer = "xxcpu/host3yy";
+  std::string_view View(Buffer.data() + 2, 9);
+  EXPECT_EQ(In.find(View), 0u);
+}
+
+TEST(StringInterner, NameSurvivesRehash) {
+  StringInterner In;
+  StringInterner::Id First = In.intern("n0");
+  const std::string &Name = In.name(First);
+  // Force growth well past any initial bucket count.
+  for (int I = 1; I < 1000; ++I)
+    In.intern("n" + std::to_string(I));
+  EXPECT_EQ(Name, "n0"); // Key storage is node-stable.
+  EXPECT_EQ(In.name(First), "n0");
+  EXPECT_EQ(In.name(In.find("n999")), "n999");
 }
