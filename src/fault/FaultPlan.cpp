@@ -1,0 +1,124 @@
+//===- fault/FaultPlan.cpp ---------------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/FaultPlan.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dgsim;
+
+const char *dgsim::faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::LinkDown:
+    return "link-down";
+  case FaultKind::HostCrash:
+    return "host-crash";
+  case FaultKind::StorageOutage:
+    return "storage-outage";
+  case FaultKind::SensorBlackout:
+    return "sensor-blackout";
+  }
+  return "unknown";
+}
+
+FaultPlan &FaultPlan::window(const FaultWindow &W) {
+  assert(W.Start >= 0.0 && "fault windows cannot start before t=0");
+  assert(W.Duration > 0.0 && "fault windows need a positive duration");
+  assert((W.Kind == FaultKind::SensorBlackout || !W.Target.empty()) &&
+         "targeted faults need a target");
+  assert((W.Kind == FaultKind::LinkDown) == !W.Target2.empty() &&
+         "exactly link faults take two endpoint names");
+  Windows.push_back(W);
+  return *this;
+}
+
+FaultPlan &FaultPlan::linkDown(std::string A, std::string B, SimTime Start,
+                               SimTime Duration) {
+  return window({FaultKind::LinkDown, std::move(A), std::move(B), Start,
+                 Duration});
+}
+
+FaultPlan &FaultPlan::hostCrash(std::string Host, SimTime Start,
+                                SimTime Duration) {
+  return window(
+      {FaultKind::HostCrash, std::move(Host), {}, Start, Duration});
+}
+
+FaultPlan &FaultPlan::storageOutage(std::string Host, SimTime Start,
+                                    SimTime Duration) {
+  return window(
+      {FaultKind::StorageOutage, std::move(Host), {}, Start, Duration});
+}
+
+FaultPlan &FaultPlan::sensorBlackout(SimTime Start, SimTime Duration) {
+  return window({FaultKind::SensorBlackout, {}, {}, Start, Duration});
+}
+
+FaultPlan &FaultPlan::mtbf(FaultKind Kind, std::string Target,
+                           std::string Target2, SimTime Mtbf, SimTime Mttr,
+                           SimTime Horizon) {
+  assert(Mtbf > 0.0 && Mttr > 0.0 && Horizon > 0.0 &&
+         "MTBF processes need positive parameters");
+  Processes.push_back(
+      {Kind, std::move(Target), std::move(Target2), Mtbf, Mttr, Horizon});
+  return *this;
+}
+
+std::vector<FaultWindow> FaultPlan::expand(RandomEngine &Rng) const {
+  std::vector<FaultWindow> All = Windows;
+  for (const MtbfProcess &P : Processes) {
+    // One child stream per process, forked in declaration order: adding a
+    // process never perturbs the outage history of the ones before it.
+    RandomEngine R = Rng.fork();
+    SimTime T = R.exponential(P.Mtbf);
+    while (T < P.Horizon) {
+      // Repairs shorter than a millisecond round up: a zero-length outage
+      // would schedule down and up at the same instant.
+      SimTime Down = std::max(R.exponential(P.Mttr), 1e-3);
+      All.push_back({P.Kind, P.Target, P.Target2, T, Down});
+      T += Down + R.exponential(P.Mtbf);
+    }
+  }
+  // Stable: simultaneous windows apply in declaration order.
+  std::stable_sort(All.begin(), All.end(),
+                   [](const FaultWindow &A, const FaultWindow &B) {
+                     return A.Start < B.Start;
+                   });
+  return All;
+}
+
+void FaultPlan::writeJson(json::JsonWriter &W) const {
+  W.beginObject();
+  W.key("windows");
+  W.beginArray();
+  for (const FaultWindow &F : Windows) {
+    W.beginObject();
+    W.member("kind", faultKindName(F.Kind));
+    W.member("target", F.Target);
+    W.member("target2", F.Target2);
+    W.member("start", F.Start);
+    W.member("duration", F.Duration);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("processes");
+  W.beginArray();
+  for (const MtbfProcess &P : Processes) {
+    W.beginObject();
+    W.member("kind", faultKindName(P.Kind));
+    W.member("target", P.Target);
+    W.member("target2", P.Target2);
+    W.member("mtbf", P.Mtbf);
+    W.member("mttr", P.Mttr);
+    W.member("horizon", P.Horizon);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}

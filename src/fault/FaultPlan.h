@@ -1,0 +1,119 @@
+//===- fault/FaultPlan.h - Declarative fault schedules ---------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FaultPlan is a pure value describing every failure a simulated grid
+/// will suffer: deterministic windows (link down between t and t+d, host
+/// crash, storage-element outage, monitoring blackout) plus seeded
+/// stochastic MTBF/MTTR renewal processes that expand into such windows.
+///
+/// Plans ride inside GridSpec — they serialize into the spec's canonical
+/// JSON and therefore into its hash — and are replayed by a FaultInjector
+/// driven off the event kernel, so two runs of the same spec suffer
+/// bit-identical fault histories.  The chaos tests depend on this: a seed
+/// *is* a reproducible disaster.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_FAULT_FAULTPLAN_H
+#define DGSIM_FAULT_FAULTPLAN_H
+
+#include "sim/Simulator.h"
+#include "support/Random.h"
+
+#include <string>
+#include <vector>
+
+namespace dgsim {
+
+namespace json {
+class JsonWriter;
+}
+
+/// What breaks.
+enum class FaultKind : uint8_t {
+  /// A WAN link loses both channels: flows crossing it stall (and the
+  /// transfer layer's stall watchdog eventually tears them down).
+  /// Target/Target2 name the link's endpoints (site or backbone names).
+  LinkDown,
+  /// A host machine crashes: it serves no data, accepts no data, and
+  /// transfers writing into it fail outright.  Target names the host.
+  HostCrash,
+  /// The host's storage element goes offline: the machine answers but
+  /// cannot serve file data.  Target names the host.
+  StorageOutage,
+  /// Grid-wide monitoring outage: every sensor stops sampling and the
+  /// information service answers from last-known, staleness-tagged data.
+  SensorBlackout,
+};
+
+/// \returns a stable lowercase identifier ("link-down", ...).
+const char *faultKindName(FaultKind K);
+
+/// One concrete outage: [Start, Start + Duration).
+struct FaultWindow {
+  FaultKind Kind = FaultKind::LinkDown;
+  std::string Target;
+  /// Second link endpoint; empty for non-link faults.
+  std::string Target2;
+  SimTime Start = 0.0;
+  SimTime Duration = 0.0;
+};
+
+/// A stochastic failure/repair renewal process: up-times are exponential
+/// with mean Mtbf, down-times exponential with mean Mttr, generated out to
+/// Horizon.  Expansion is seeded, so the same plan in the same grid always
+/// produces the same outage history.
+struct MtbfProcess {
+  FaultKind Kind = FaultKind::LinkDown;
+  std::string Target;
+  std::string Target2;
+  /// Mean time between failures (mean up-time), seconds.
+  SimTime Mtbf = 3600.0;
+  /// Mean time to repair (mean down-time), seconds.
+  SimTime Mttr = 60.0;
+  /// Failures starting at or beyond this time are not generated.
+  SimTime Horizon = 3600.0;
+};
+
+/// The declarative schedule.  Build with the fluent helpers:
+///
+/// \code
+///   FaultPlan Plan;
+///   Plan.linkDown("lizen", "tanet", 30.0, 20.0)
+///       .hostCrash("alpha2", 60.0, 45.0)
+///       .mtbf(FaultKind::LinkDown, "thu", "tanet", 600.0, 30.0, 3600.0);
+/// \endcode
+struct FaultPlan {
+  std::vector<FaultWindow> Windows;
+  std::vector<MtbfProcess> Processes;
+
+  bool empty() const { return Windows.empty() && Processes.empty(); }
+
+  FaultPlan &window(const FaultWindow &W);
+  FaultPlan &linkDown(std::string A, std::string B, SimTime Start,
+                      SimTime Duration);
+  FaultPlan &hostCrash(std::string Host, SimTime Start, SimTime Duration);
+  FaultPlan &storageOutage(std::string Host, SimTime Start,
+                           SimTime Duration);
+  FaultPlan &sensorBlackout(SimTime Start, SimTime Duration);
+  FaultPlan &mtbf(FaultKind Kind, std::string Target, std::string Target2,
+                  SimTime Mtbf, SimTime Mttr, SimTime Horizon);
+
+  /// Expands the stochastic processes (forking one child stream per
+  /// process off \p Rng, in declaration order) and merges them with the
+  /// deterministic windows.  \returns all windows sorted by start time,
+  /// ties kept in declaration order.
+  std::vector<FaultWindow> expand(RandomEngine &Rng) const;
+
+  /// Serializes the plan (one "faults" object: windows then processes, in
+  /// declaration order) for GridSpec::canonicalJson().
+  void writeJson(json::JsonWriter &W) const;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_FAULT_FAULTPLAN_H

@@ -49,6 +49,8 @@ std::unique_ptr<DataGrid> DataGrid::buildFrom(const GridSpec &Spec) {
                        T.MinFlowBytes, T.Streams);
   for (const CatalogFileSpec &F : Spec.Files)
     G->registerCatalogFile(F);
+  if (!Spec.Faults.empty())
+    G->setFaultPlan(Spec.Faults);
   // Replaying appends to the new grid's own spec in the same canonical
   // order, so the round trip must be exact.
   assert(G->spec().hash() == Spec.hash() &&
@@ -215,6 +217,21 @@ CrossTraffic &DataGrid::addCrossTraffic(const std::string &FromSite,
   Spec.Traffic.push_back(
       {FromSite, ToSite, MeanInterarrival, MinFlowBytes, Streams});
   return *Traffic.back();
+}
+
+void DataGrid::setFaultPlan(const FaultPlan &Plan) {
+  assert(finalized() && "setFaultPlan() before finalize()");
+  assert(!Injector && "setFaultPlan() called twice");
+  if (Plan.empty())
+    return;
+  // Construct last so a stochastic plan's random fork lands after every
+  // component the build created (hosts, traffic): adding faults perturbs
+  // nothing that came before.
+  Injector = std::make_unique<FaultInjector>(Sim, Topo, *Net, *Transfers,
+                                             *InfoService, allHosts(),
+                                             &Trace);
+  Injector->arm(Plan);
+  Spec.Faults = Plan;
 }
 
 void DataGrid::registerCatalogFile(const CatalogFileSpec &File) {

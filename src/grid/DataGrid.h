@@ -27,6 +27,7 @@
 #ifndef DGSIM_GRID_DATAGRID_H
 #define DGSIM_GRID_DATAGRID_H
 
+#include "fault/FaultInjector.h"
 #include "grid/GridSpec.h"
 #include "gridftp/TransferManager.h"
 #include "net/CrossTraffic.h"
@@ -147,6 +148,15 @@ public:
   /// catalog, recording it in spec().  Must be called after finalize().
   void registerCatalogFile(const CatalogFileSpec &File);
 
+  /// Arms \p Plan on the grid: records it in spec() and constructs the
+  /// FaultInjector that replays it.  Must be called after finalize(), at
+  /// most once, and — for bit-identical spec replay — after every other
+  /// build call (buildFrom arms it last).  An empty plan is a no-op.
+  void setFaultPlan(const FaultPlan &Plan);
+
+  /// \returns the armed injector, or nullptr when no plan was set.
+  FaultInjector *faults() { return Injector.get(); }
+
 private:
   Simulator Sim;
   Topology Topo;
@@ -159,6 +169,7 @@ private:
   std::unique_ptr<InformationService> InfoService;
   std::unique_ptr<TransferManager> Transfers;
   std::vector<std::unique_ptr<CrossTraffic>> Traffic;
+  std::unique_ptr<FaultInjector> Injector;
   ReplicaCatalog Catalog;
   TraceLog Trace;
   GridSpec Spec;

@@ -106,6 +106,8 @@ std::string GridSpec::canonicalJson() const {
     W.endObject();
   }
   W.endArray();
+  W.key("faults");
+  Faults.writeJson(W);
   W.endObject();
   return W.take();
 }

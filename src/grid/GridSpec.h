@@ -26,6 +26,7 @@
 #ifndef DGSIM_GRID_GRIDSPEC_H
 #define DGSIM_GRID_GRIDSPEC_H
 
+#include "fault/FaultPlan.h"
 #include "gridftp/Protocol.h"
 #include "monitor/InformationService.h"
 #include "support/Units.h"
@@ -97,6 +98,10 @@ struct GridSpec {
   std::vector<LinkSpec> Links;
   std::vector<CrossTrafficSpec> Traffic;
   std::vector<CatalogFileSpec> Files;
+  /// The fault schedule the grid replays (empty = nothing ever breaks).
+  /// Recorded by DataGrid::setFaultPlan and replayed by buildFrom, so a
+  /// spec's hash covers its disasters too.
+  FaultPlan Faults;
 
   /// Serializes every field, in declaration order, to a canonical JSON
   /// document (deterministic number formatting; no whitespace).

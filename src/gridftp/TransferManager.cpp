@@ -8,10 +8,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 
 using namespace dgsim;
+
+const char *dgsim::transferStatusName(TransferStatus S) {
+  return S == TransferStatus::Completed ? "completed" : "failed";
+}
 
 void TransferManager::trace(const char *Fmt, ...) const {
   if (!Trace || !Trace->enabled(TraceCategory::Transfer))
@@ -31,7 +36,21 @@ TransferManager::TransferManager(Simulator &Sim, FlowNetwork &Net,
       Sim.schedulePeriodic(RefreshPeriod, [this] { refreshCaps(); });
 }
 
-TransferManager::~TransferManager() { Sim.cancelPeriodic(RefreshHandle); }
+TransferManager::~TransferManager() {
+  Sim.cancelPeriodic(RefreshHandle);
+  Sim.cancel(WatchdogEvent);
+}
+
+void TransferManager::armWatchdog() {
+  if (!std::isfinite(Policy.StallTimeout) || ActiveList.empty() ||
+      WatchdogEvent != InvalidEventId)
+    return;
+  WatchdogEvent = Sim.schedule(RefreshPeriod, [this] {
+    WatchdogEvent = InvalidEventId;
+    refreshCaps();
+    armWatchdog();
+  });
+}
 
 TransferManager::ActiveTransfer *
 TransferManager::findTransfer(TransferId Id) {
@@ -43,6 +62,10 @@ void TransferManager::releaseTransfer(TransferId Id) {
   auto It = IdToSlot.find(Id);
   assert(It != IdToSlot.end() && "releasing an unknown transfer");
   uint32_t Slot = It->second;
+  // Orphan a pending reconnect so failed/cancelled transfers do not keep
+  // the kernel's run() alive until the retry would have fired.
+  for (Stripe &S : Slots[Slot].StripesLive)
+    Sim.cancel(S.RetryEvent);
   Slots[Slot] = ActiveTransfer(); // Drop closures and stripe vectors.
   FreeSlots.push_back(Slot);
   IdToSlot.erase(It);
@@ -128,6 +151,7 @@ TransferId TransferManager::submit(const TransferSpec &Spec,
   IdToSlot.emplace(Id, Slot);
   ActiveList.emplace_back(Id, Slot); // Ids are monotonic: stays sorted.
   Sim.schedule(Startup, [this, Id] { beginData(Id); });
+  armWatchdog();
   return Id;
 }
 
@@ -143,6 +167,7 @@ void TransferManager::beginData(TransferId Id) {
 
   Bytes WireBytes =
       protocolWireBytes(T.Spec.Protocol, Costs, T.Result.FileBytes);
+  T.PayloadPerWire = WireBytes > 0.0 ? T.Result.FileBytes / WireBytes : 1.0;
   std::vector<double> Weights = T.Spec.StripeWeights;
   if (Weights.empty()) {
     Weights.assign(Sources.size(), 1.0);
@@ -166,12 +191,51 @@ void TransferManager::beginData(TransferId Id) {
   }
 }
 
+SimTime TransferManager::backoffSeconds(unsigned ConsecutiveFailures) const {
+  // The first failure after payload progress reconnects immediately (a
+  // transient connection reset does not merit punishment); repeated
+  // failures without progress back off exponentially.
+  if (ConsecutiveFailures <= 1)
+    return 0.0;
+  double Exp = Policy.BackoffBase *
+               std::pow(Policy.BackoffFactor,
+                        static_cast<double>(ConsecutiveFailures - 2));
+  return std::min(Exp, Policy.BackoffMax);
+}
+
 void TransferManager::startStripeFlow(TransferId Id, size_t StripeIdx,
                                       Bytes Volume) {
   ActiveTransfer *Found = findTransfer(Id);
   assert(Found && "starting a stripe for an unknown transfer");
   ActiveTransfer &T = *Found;
   Stripe &S = T.StripesLive[StripeIdx];
+  // A dead source (or destination) refuses the data connection outright.
+  // Burn a reconnect attempt and try again after the backoff — when the
+  // host reboots, the next attempt goes through.
+  if (!S.Source->available() || !T.Spec.Destination->isUp()) {
+    ++S.ConsecutiveFailures;
+    if (Policy.MaxAttempts && S.ConsecutiveFailures > Policy.MaxAttempts) {
+      failTransfer(Id, "endpoint unreachable");
+      return;
+    }
+    auto Path =
+        Net.routing().path(S.Source->node(), T.Spec.Destination->node());
+    assert(Path && "transfer endpoints became disconnected");
+    SimTime Delay = Net.tcp().connectTime(*Path) + Path->Rtt +
+                    backoffSeconds(S.ConsecutiveFailures);
+    trace("#%llu stripe %zu connect refused (attempt %u); retry in %.3f s",
+          static_cast<unsigned long long>(Id), StripeIdx,
+          S.ConsecutiveFailures, Delay);
+    S.RetryEvent = Sim.schedule(Delay, [this, Id, StripeIdx, Volume] {
+      if (ActiveTransfer *A = findTransfer(Id)) {
+        A->StripesLive[StripeIdx].RetryEvent = InvalidEventId;
+        startStripeFlow(Id, StripeIdx, Volume);
+      }
+    });
+    return;
+  }
+  S.AttemptWire = Volume;
+  S.LastProgress = Sim.now();
   FlowOptions Opt;
   Opt.Streams = T.Spec.Streams;
   Opt.EndpointCap =
@@ -194,6 +258,11 @@ void TransferManager::onStripeDone(TransferId Id, size_t StripeIdx) {
   T.Spec.Destination->disk().removeTransferLoad(S.AccountedRate);
   S.AccountedRate = 0.0;
   S.Flow = InvalidFlowId;
+  // The attempt's whole volume landed: it counts toward the file exactly
+  // once, whatever protocol we ran.
+  S.DeliveredWire += S.AttemptWire;
+  T.Result.DeliveredBytes += S.AttemptWire * T.PayloadPerWire;
+  S.AttemptWire = 0.0;
 
   assert(T.StripesRemaining > 0 && "stripe count underflow");
   if (--T.StripesRemaining != 0)
@@ -229,49 +298,141 @@ bool TransferManager::cancel(TransferId Id) {
   return true;
 }
 
+void TransferManager::failStripe(TransferId Id, size_t StripeIdx,
+                                 bool Timeout) {
+  ActiveTransfer *Found = findTransfer(Id);
+  if (!Found)
+    return; // Torn down meanwhile (e.g. a sibling stripe failed it).
+  ActiveTransfer &T = *Found;
+  Stripe &S = T.StripesLive[StripeIdx];
+  if (S.Flow == InvalidFlowId)
+    return; // Already finished, or already waiting on a reconnect.
+
+  Bytes Remaining = Net.remainingBytes(S.Flow);
+  Net.cancelFlow(S.Flow);
+  S.Flow = InvalidFlowId;
+  S.Source->disk().removeTransferLoad(S.AccountedRate);
+  T.Spec.Destination->disk().removeTransferLoad(S.AccountedRate);
+  S.AccountedRate = 0.0;
+  ++T.Result.Restarts;
+  ++TotalRestarts;
+  if (Timeout) {
+    ++T.Result.Timeouts;
+    ++TotalTimeouts;
+  }
+
+  // GridFTP writes restart markers as blocks land: the retry resumes at
+  // the last marker, so the delivered prefix is banked.  Plain FTP
+  // restarts the partition from scratch — the partial progress will move
+  // again, which is exactly what ResentBytes accounts.
+  Bytes Done = S.AttemptWire - Remaining;
+  bool Resumable = T.Spec.Protocol != TransferProtocol::Ftp;
+  if (Done > 0.0) {
+    if (Resumable) {
+      S.DeliveredWire += Done;
+      T.Result.DeliveredBytes += Done * T.PayloadPerWire;
+    } else {
+      T.Result.ResentBytes += Done * T.PayloadPerWire;
+    }
+    // Progress was made: this failure is not part of a losing streak.
+    S.ConsecutiveFailures = 1;
+  } else {
+    ++S.ConsecutiveFailures;
+  }
+  S.AttemptWire = 0.0;
+
+  if (Policy.MaxAttempts && S.ConsecutiveFailures > Policy.MaxAttempts) {
+    trace("#%llu stripe %zu out of attempts (%u)",
+          static_cast<unsigned long long>(Id), StripeIdx,
+          S.ConsecutiveFailures);
+    failTransfer(Id, Timeout ? "stalled" : "connection lost");
+    return;
+  }
+
+  Bytes RetryVolume = Resumable ? Remaining : S.WireBytes;
+  trace("#%llu stripe %zu failed%s; %s %.0f MB",
+        static_cast<unsigned long long>(Id), StripeIdx,
+        Timeout ? " (stall timeout)" : "",
+        Resumable ? "resuming remaining" : "restarting full",
+        RetryVolume / (1024.0 * 1024.0));
+  // Reconnect: a fresh data connection plus one control round trip to
+  // re-issue RETR (with a REST marker when resumable), plus the backoff
+  // this losing streak has earned.
+  auto Path =
+      Net.routing().path(S.Source->node(), T.Spec.Destination->node());
+  assert(Path && "transfer endpoints became disconnected");
+  SimTime Delay = Net.tcp().connectTime(*Path) + Path->Rtt +
+                  backoffSeconds(S.ConsecutiveFailures);
+  S.RetryEvent = Sim.schedule(Delay, [this, Id, StripeIdx, RetryVolume] {
+    // The transfer may have been torn down meanwhile.
+    if (ActiveTransfer *A = findTransfer(Id)) {
+      A->StripesLive[StripeIdx].RetryEvent = InvalidEventId;
+      startStripeFlow(Id, StripeIdx, RetryVolume);
+    }
+  });
+}
+
+void TransferManager::failTransfer(TransferId Id, const char *Reason) {
+  ActiveTransfer *Found = findTransfer(Id);
+  assert(Found && "failing an unknown transfer");
+  ActiveTransfer &T = *Found;
+  for (Stripe &S : T.StripesLive) {
+    if (S.Flow == InvalidFlowId)
+      continue;
+    Net.cancelFlow(S.Flow);
+    S.Source->disk().removeTransferLoad(S.AccountedRate);
+    T.Spec.Destination->disk().removeTransferLoad(S.AccountedRate);
+    S.Flow = InvalidFlowId;
+    S.AccountedRate = 0.0;
+  }
+  TransferResult Result = T.Result;
+  Result.Status = TransferStatus::Failed;
+  Result.EndTime = Sim.now();
+  Result.DataSeconds =
+      std::max(0.0, Result.totalSeconds() - Result.StartupSeconds);
+  CompletionFn Done = std::move(T.OnComplete);
+  releaseTransfer(Id);
+  ++Failed;
+  trace("#%llu FAILED (%s): %.0f of %.0f MB delivered, %u restart(s)",
+        static_cast<unsigned long long>(Result.Id), Reason,
+        Result.DeliveredBytes / (1024.0 * 1024.0),
+        Result.FileBytes / (1024.0 * 1024.0), Result.Restarts);
+  if (Done)
+    Done(Result);
+}
+
 void TransferManager::injectFailure(TransferId Id) {
   ActiveTransfer *Found = findTransfer(Id);
   if (!Found)
     return;
-  ActiveTransfer &T = *Found;
+  // Snapshot the stripe count: failStripe may fail the whole transfer
+  // (MaxAttempts == 1) and release the slot under us.
+  size_t NumStripes = Found->StripesLive.size();
+  for (size_t I = 0; I != NumStripes; ++I)
+    failStripe(Id, I, /*Timeout=*/false);
+}
 
-  auto Path = Net.routing().path(
-      T.StripesLive.empty()
-          ? (T.Spec.Source ? T.Spec.Source : T.Spec.Stripes.front())->node()
-          : T.StripesLive.front().Source->node(),
-      T.Spec.Destination->node());
-  assert(Path && "transfer endpoints became disconnected");
-
-  for (size_t I = 0, E = T.StripesLive.size(); I != E; ++I) {
-    Stripe &S = T.StripesLive[I];
-    if (S.Flow == InvalidFlowId)
-      continue; // This stripe already finished (or startup phase).
-    Bytes Remaining = Net.remainingBytes(S.Flow);
-    Net.cancelFlow(S.Flow);
-    S.Flow = InvalidFlowId;
-    S.Source->disk().removeTransferLoad(S.AccountedRate);
-    T.Spec.Destination->disk().removeTransferLoad(S.AccountedRate);
-    S.AccountedRate = 0.0;
-    ++T.Result.Restarts;
-
-    // GridFTP writes restart markers as blocks land: the retry resumes at
-    // the last marker.  Plain FTP restarts the partition from scratch.
-    bool Resumable = T.Spec.Protocol != TransferProtocol::Ftp;
-    Bytes RetryVolume = Resumable ? Remaining : S.WireBytes;
-    trace("#%llu stripe %zu failed; %s %.0f MB",
-          static_cast<unsigned long long>(Id), I,
-          Resumable ? "resuming remaining" : "restarting full",
-          RetryVolume / (1024.0 * 1024.0));
-    // Reconnect: a fresh data connection plus one control round trip to
-    // re-issue RETR (with a REST marker when resumable).
-    SimTime Delay = Net.tcp().connectTime(*Path) + Path->Rtt;
-    Sim.schedule(Delay, [this, Id, I, RetryVolume] {
-      // The transfer may have been torn down meanwhile.
-      if (!findTransfer(Id))
-        return;
-      startStripeFlow(Id, I, RetryVolume);
-    });
+void TransferManager::failHost(const Host &H, bool MachineDown) {
+  // Collect first: failTransfer/failStripe mutate ActiveList.
+  std::vector<TransferId> DeadDestinations;
+  std::vector<std::pair<TransferId, size_t>> DeadStripes;
+  for (const auto &[Id, Slot] : ActiveList) {
+    const ActiveTransfer &T = Slots[Slot];
+    if (MachineDown && T.Spec.Destination == &H) {
+      // The receiving server lost the partial file state; the client must
+      // re-fetch (possibly from another replica).
+      DeadDestinations.push_back(Id);
+      continue;
+    }
+    for (size_t I = 0, E = T.StripesLive.size(); I != E; ++I)
+      if (T.StripesLive[I].Source == &H &&
+          T.StripesLive[I].Flow != InvalidFlowId)
+        DeadStripes.emplace_back(Id, I);
   }
+  for (TransferId Id : DeadDestinations)
+    failTransfer(Id, "destination host down");
+  for (auto [Id, I] : DeadStripes)
+    failStripe(Id, I, /*Timeout=*/false);
 }
 
 BitRate TransferManager::endpointCap(const Host &Src, const Host &Dst,
@@ -308,9 +469,14 @@ unsigned TransferManager::activeWriters(const Host &H) const {
 }
 
 void TransferManager::refreshCaps() {
+  // The stall watchdog collects victims during the sweep and tears them
+  // down afterwards: failStripe mutates ActiveList.
+  bool WatchStalls = std::isfinite(Policy.StallTimeout);
+  std::vector<std::pair<TransferId, size_t>> Stalled;
   for (auto &[Id, Slot] : ActiveList) {
     ActiveTransfer &T = Slots[Slot];
-    for (Stripe &S : T.StripesLive) {
+    for (size_t I = 0, E = T.StripesLive.size(); I != E; ++I) {
+      Stripe &S = T.StripesLive[I];
       if (S.Flow == InvalidFlowId)
         continue;
       // Mirror the current payload rate into the endpoint disks so the
@@ -321,9 +487,18 @@ void TransferManager::refreshCaps() {
       S.Source->disk().addTransferLoad(Rate);
       T.Spec.Destination->disk().addTransferLoad(Rate);
       S.AccountedRate = Rate;
+      if (Rate > 0.0) {
+        S.LastProgress = Sim.now();
+      } else if (WatchStalls &&
+                 Sim.now() - S.LastProgress >= Policy.StallTimeout) {
+        Stalled.emplace_back(Id, I);
+        continue; // No point re-capping a flow about to be torn down.
+      }
       // Re-derive the endpoint cap from the hosts' current state.
       Net.setEndpointCap(S.Flow, endpointCap(*S.Source, *T.Spec.Destination,
                                              /*CountSelf=*/false));
     }
   }
+  for (auto [Id, I] : Stalled)
+    failStripe(Id, I, /*Timeout=*/true);
 }

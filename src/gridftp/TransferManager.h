@@ -20,6 +20,17 @@
 /// payload rate into the disks' busy accounting, so monitoring sees grid
 /// transfers in iostat and transfers slow down when hosts get busy.
 ///
+/// Recovery semantics (see DESIGN.md "Fault model and recovery semantics"):
+/// data-connection failures — injected, stall-timeout detected, or driven
+/// by a host/storage fault — are retried per stripe with exponential
+/// backoff on *consecutive* failures.  GridFTP retries resume from restart
+/// markers (bytes already delivered are never re-sent); plain FTP restarts
+/// the partition, and the wasted bytes are accounted in ResentBytes.  A
+/// stripe that exhausts RetryPolicy::MaxAttempts, or a destination-host
+/// crash, fails the whole transfer: the completion callback fires exactly
+/// once with Status == Failed and the bytes delivered so far, so a
+/// failover layer (ReplicaManager::fetch) can resume from another replica.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DGSIM_GRIDFTP_TRANSFERMANAGER_H
@@ -32,6 +43,7 @@
 #include "support/Trace.h"
 
 #include <functional>
+#include <limits>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -71,22 +83,67 @@ struct TransferSpec {
   NodeId ControlClient = InvalidNodeId;
 };
 
+/// How a transfer ended.
+enum class TransferStatus : uint8_t {
+  /// Every payload byte landed.
+  Completed,
+  /// Given up: retry budget exhausted or the destination host crashed.
+  /// DeliveredBytes says how much usable data landed before the failure
+  /// (GridFTP restart markers persist it; a failover fetch resumes there).
+  Failed,
+};
+
+/// \returns "completed" or "failed".
+const char *transferStatusName(TransferStatus S);
+
+/// Retry/timeout knobs.  The default policy is maximally conservative —
+/// no stall timeout, unbounded reconnect attempts — so a manager without
+/// fault injection behaves exactly like the pre-fault-model code: flows
+/// stalled by a down link simply wait for the repair.
+struct RetryPolicy {
+  /// A stripe whose data connection moves no bytes for this long is torn
+  /// down and retried (GridFTP's server-side transfer timeout).
+  /// +inf disables stall detection.
+  SimTime StallTimeout = std::numeric_limits<double>::infinity();
+  /// Backoff before reconnect attempt k (counting consecutive failures
+  /// without payload progress): 0 for the first, then
+  /// min(BackoffBase * BackoffFactor^(k-2), BackoffMax) seconds on top of
+  /// the TCP connect + control round trip.
+  SimTime BackoffBase = 1.0;
+  double BackoffFactor = 2.0;
+  SimTime BackoffMax = 64.0;
+  /// Consecutive no-progress failures a stripe survives before the whole
+  /// transfer is reported Failed.  0 means unbounded (retry forever).
+  unsigned MaxAttempts = 0;
+};
+
 /// Completion report.
 struct TransferResult {
   TransferId Id = InvalidTransferId;
   TransferProtocol Protocol = TransferProtocol::Ftp;
+  TransferStatus Status = TransferStatus::Completed;
   unsigned Streams = 1;
-  /// Payload bytes actually moved (the range length for partial fetches).
+  /// Payload bytes requested (the range length for partial fetches).
   Bytes FileBytes = 0.0;
+  /// Payload bytes that landed and count toward the file exactly once.
+  /// Equals FileBytes on success; on failure, the resumable prefix.
+  Bytes DeliveredBytes = 0.0;
+  /// Payload bytes moved more than once (plain-FTP restarts re-send the
+  /// partition's partial progress; GridFTP never re-sends).
+  Bytes ResentBytes = 0.0;
   /// Data-connection failures survived.  GridFTP resumes from its restart
   /// markers; plain FTP starts the affected connection over.
   unsigned Restarts = 0;
+  /// How many of those failures were stall-timeout detections.
+  unsigned Timeouts = 0;
   SimTime StartTime = 0.0;
   /// Protocol startup (control dialogue, auth, negotiation), seconds.
   SimTime StartupSeconds = 0.0;
   /// Data movement portion, seconds.
   SimTime DataSeconds = 0.0;
   SimTime EndTime = 0.0;
+
+  bool succeeded() const { return Status == TransferStatus::Completed; }
 
   SimTime totalSeconds() const { return EndTime - StartTime; }
 
@@ -109,8 +166,9 @@ public:
   TransferManager(const TransferManager &) = delete;
   TransferManager &operator=(const TransferManager &) = delete;
 
-  /// Starts a transfer; \p OnComplete fires when the last byte lands.
-  /// \returns the transfer id.
+  /// Starts a transfer; \p OnComplete fires exactly once when the last
+  /// byte lands (Status == Completed) or the transfer gives up
+  /// (Status == Failed).  \returns the transfer id.
   TransferId submit(const TransferSpec &Spec, CompletionFn OnComplete);
 
   /// Kills every live data connection of an in-flight transfer (failure
@@ -119,6 +177,14 @@ public:
   /// restart support, so the connection starts its partition over.
   /// No-op when the id is unknown or still in the startup phase.
   void injectFailure(TransferId Id);
+
+  /// Reacts to a host fault: transfers sourcing a stripe from \p H lose
+  /// that data connection (and recover per RetryPolicy once the host is
+  /// reachable again); when \p MachineDown, transfers writing *into* \p H
+  /// fail outright — the destination lost the partial file state.
+  /// FaultInjector calls this on host crash (MachineDown) and on
+  /// storage-element outage (source side only).
+  void failHost(const Host &H, bool MachineDown);
 
   /// Aborts an in-flight transfer (the user pressed ^C on the client):
   /// data connections close, disk accounting is released, and the
@@ -129,16 +195,38 @@ public:
   /// \returns the number of in-flight transfers (startup or data phase).
   size_t activeTransfers() const { return ActiveList.size(); }
 
-  /// \returns how many transfers this manager has completed.
+  /// \returns how many transfers this manager has completed successfully.
   uint64_t completedTransfers() const { return Completed; }
 
+  /// \returns how many transfers were reported Failed.
+  uint64_t failedTransfers() const { return Failed; }
+
+  /// \returns data-connection failures survived across all transfers
+  /// (injected, stall-detected, or fault-driven).
+  uint64_t totalRestarts() const { return TotalRestarts; }
+
+  /// \returns stall timeouts detected across all transfers.
+  uint64_t totalTimeouts() const { return TotalTimeouts; }
+
   const ProtocolCosts &costs() const { return Costs; }
+
+  /// The recovery policy applied to every transfer.  May be changed at any
+  /// time; in-flight stripes pick the new values up on their next failure
+  /// or watchdog tick.
+  void setRetryPolicy(const RetryPolicy &P) {
+    Policy = P;
+    armWatchdog();
+  }
+  const RetryPolicy &retryPolicy() const { return Policy; }
+
+  /// The kernel this manager schedules on (recovery layers need delays).
+  Simulator &sim() { return Sim; }
 
   /// Attaches a trace log (TraceCategory::Transfer events).  Pass nullptr
   /// to detach.  The log must outlive the manager.
   void setTrace(TraceLog *Log) { Trace = Log; }
 
-  /// How often endpoint caps and disk accounting are refreshed.
+  /// How often endpoint caps, disk accounting and the stall watchdog run.
   static constexpr SimTime RefreshPeriod = 1.0;
 
 private:
@@ -147,6 +235,11 @@ private:
     FlowId Flow = InvalidFlowId;
     BitRate AccountedRate = 0.0; // Mirrored into the disks.
     Bytes WireBytes = 0.0;       // This stripe's full partition on the wire.
+    Bytes DeliveredWire = 0.0;   // Wire bytes safely landed (restart marker).
+    Bytes AttemptWire = 0.0;     // Volume of the in-flight attempt.
+    SimTime LastProgress = 0.0;  // Last time the flow was seen moving.
+    unsigned ConsecutiveFailures = 0; // Resets when an attempt made progress.
+    EventId RetryEvent = InvalidEventId; // Pending reconnect, if any.
   };
 
   struct ActiveTransfer {
@@ -155,6 +248,7 @@ private:
     CompletionFn OnComplete;
     std::vector<Stripe> StripesLive;
     size_t StripesRemaining = 0;
+    double PayloadPerWire = 1.0; // Payload bytes per wire byte (MODE E < 1).
   };
 
   ActiveTransfer *findTransfer(TransferId Id);
@@ -162,17 +256,36 @@ private:
   void beginData(TransferId Id);
   void startStripeFlow(TransferId Id, size_t StripeIdx, Bytes Volume);
   void onStripeDone(TransferId Id, size_t StripeIdx);
+  /// Tears down one stripe's data connection and schedules the retry (or
+  /// fails the transfer when the retry budget is gone).  \p Timeout marks
+  /// stall-watchdog detections for the counters.
+  void failStripe(TransferId Id, size_t StripeIdx, bool Timeout);
+  /// Reconnect attempt: restarts the stripe flow, or burns another attempt
+  /// when the endpoints are still unreachable.
+  void retryStripe(TransferId Id, size_t StripeIdx);
+  /// Gives up: releases everything and fires the callback with Failed.
+  void failTransfer(TransferId Id, const char *Reason);
   void refreshCaps();
+  /// Keeps a non-daemon heartbeat pending while transfers are in flight
+  /// and the stall watchdog is on.  The cap-refresh periodic is a daemon
+  /// and cannot keep run() alive; a stalled flow schedules no completion
+  /// event and a fault plan's repair events are daemons too, so without
+  /// this the kernel could drain mid-stall and leave transfers unresolved.
+  void armWatchdog();
   BitRate endpointCap(const Host &Src, const Host &Dst,
                       bool CountSelf) const;
   unsigned activeReaders(const Host &H) const;
   unsigned activeWriters(const Host &H) const;
+  /// Backoff component of the reconnect delay for the given consecutive
+  /// failure count.
+  SimTime backoffSeconds(unsigned ConsecutiveFailures) const;
 
   void trace(const char *Fmt, ...) const;
 
   Simulator &Sim;
   FlowNetwork &Net;
   ProtocolCosts Costs;
+  RetryPolicy Policy;
   TraceLog *Trace = nullptr;
   /// In-flight transfers live in a recycled slot pool; the per-second
   /// refresh and the reader/writer counts iterate ActiveList, which is
@@ -185,7 +298,11 @@ private:
   std::vector<std::pair<TransferId, uint32_t>> ActiveList;
   TransferId NextId = 1;
   uint64_t Completed = 0;
+  uint64_t Failed = 0;
+  uint64_t TotalRestarts = 0;
+  uint64_t TotalTimeouts = 0;
   EventId RefreshHandle = InvalidEventId;
+  EventId WatchdogEvent = InvalidEventId;
 };
 
 } // namespace dgsim

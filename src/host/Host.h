@@ -73,6 +73,26 @@ public:
     return Config.MemoryBytes * memFreeFraction();
   }
 
+  //===--------------------------------------------------------------------===//
+  // Availability (fault injection flips these; see src/fault/)
+  //===--------------------------------------------------------------------===//
+
+  /// Whether the machine itself is running (false between a crash and the
+  /// reboot).  A down host can neither source nor absorb transfers.
+  bool isUp() const { return Up; }
+  void setUp(bool V) { Up = V; }
+
+  /// Whether the host's storage service answers (false during a
+  /// storage-element outage).  Replicas held here are unreachable while
+  /// down, even though the machine is otherwise alive.
+  bool storageUp() const { return StorageUp; }
+  void setStorageUp(bool V) { StorageUp = V; }
+
+  /// True when replicas at this host can actually be served: the machine
+  /// is up and its storage answers.  Selection and failover only consider
+  /// available hosts.
+  bool available() const { return Up && StorageUp; }
+
   /// Payload rate this host can source for one more outbound transfer,
   /// assuming \p ConcurrentReaders transfers (including the new one) read
   /// the disk: min(NIC, disk share) derated by CPU load.
@@ -100,6 +120,8 @@ private:
   CpuLoadModel Cpu;
   CpuLoadModel Mem;
   Disk Dsk;
+  bool Up = true;
+  bool StorageUp = true;
 };
 
 } // namespace dgsim

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 using namespace dgsim;
 
@@ -82,6 +83,10 @@ void InformationService::watchPath(NodeId Client, NodeId Server) {
       Sim, "bw/" + Suffix, Config.BandwidthPeriod, std::move(Probe));
   PS.Latency = std::make_unique<Sensor>(
       Sim, "lat/" + Suffix, Config.BandwidthPeriod, std::move(Ping));
+  // A probe launched during a blackout measures nothing: the sensor is
+  // born suspended and its series stays empty until the blackout lifts.
+  PS.Bandwidth->setSuspended(Blackout);
+  PS.Latency->setSuspended(Blackout);
   PS.Bandwidth->sampleNow();
   PS.Latency->sampleNow();
   Names.registerSensor(*PS.Bandwidth, "bandwidth", Suffix);
@@ -122,7 +127,33 @@ SystemFactors InformationService::query(NodeId ClientNode,
   F.MemFreeFraction = memFree(Candidate);
   if (const Sensor *Lat = latencySensor(ClientNode, Candidate.node()))
     F.PredictedLatency = Lat->forecast();
+
+  // Staleness tags: how old the data behind the answer is.  Sensors keep
+  // serving their last sample through a blackout, so these ages are the
+  // only signal that the measurements have stopped being fresh.
+  auto AgeOf = [this](const Sensor &S) {
+    SimTime Last = S.lastSampleTime();
+    return std::isfinite(Last) ? Sim.now() - Last
+                               : std::numeric_limits<double>::infinity();
+  };
+  F.BwAgeSeconds = AgeOf(*Bw);
+  F.HostAgeSeconds = AgeOf(*hostSensors(Candidate).Cpu);
   return F;
+}
+
+void InformationService::setBlackout(bool V) {
+  if (Blackout == V)
+    return;
+  Blackout = V;
+  for (HostSensors &S : Hosts) {
+    S.Cpu->setSuspended(V);
+    S.Io->setSuspended(V);
+    S.Mem->setSuspended(V);
+  }
+  for (auto &[Key, PS] : Paths) {
+    PS.Bandwidth->setSuspended(V);
+    PS.Latency->setSuspended(V);
+  }
 }
 
 const InformationService::HostSensors &

@@ -71,6 +71,13 @@ struct SystemFactors {
   SimTime PredictedLatency = 0.0;
   /// Candidate's free-memory fraction (NWS memory sensor).
   double MemFreeFraction = 0.0;
+  /// Age of the bandwidth measurement backing BwFraction, seconds.  Under
+  /// normal operation this stays below the bandwidth period; it grows
+  /// without bound through a sensor blackout (the service keeps answering
+  /// from last-known data, it just tags how old the data is).
+  SimTime BwAgeSeconds = 0.0;
+  /// Age of the host CPU/I-O readings, seconds.
+  SimTime HostAgeSeconds = 0.0;
 };
 
 /// Sampling configuration.
@@ -112,6 +119,14 @@ public:
   /// \returns the latest free-memory fraction for a registered host.
   double memFree(const Host &H) const;
 
+  /// Starts or ends a monitoring blackout (NWS deployment outage): every
+  /// sensor stops sampling, queries keep answering from last-known values
+  /// with their ages tagged in SystemFactors, so selection degrades
+  /// gracefully instead of crashing.  Sensors created during a blackout
+  /// start suspended and report never-sampled staleness.
+  void setBlackout(bool V);
+  bool blackout() const { return Blackout; }
+
   /// \returns the bandwidth sensor for a watched path (nullptr if absent).
   const Sensor *bandwidthSensor(NodeId Client, NodeId Server) const;
 
@@ -151,8 +166,10 @@ private:
   StringInterner HostIds;
   std::vector<HostSensors> Hosts;
   /// Keyed by (client << 32 | server); never iterated, so hash order is
-  /// fine and lookups are O(1).
+  /// fine and lookups are O(1).  (setBlackout walks it; suspension order
+  /// does not matter, so hash order stays fine.)
   std::unordered_map<uint64_t, PathSensors> Paths;
+  bool Blackout = false;
 };
 
 } // namespace dgsim

@@ -23,6 +23,8 @@ Sensor::Sensor(Simulator &Sim, std::string Name, SimTime Period,
 Sensor::~Sensor() { Sim.cancelPeriodic(Periodic); }
 
 void Sensor::sampleNow() {
+  if (Suspended)
+    return;
   double Value = Measure();
   History.add(Sim.now(), Value);
   Fc.observe(Value);

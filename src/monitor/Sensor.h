@@ -57,7 +57,15 @@ public:
   const TimeSeries &history() const { return History; }
 
   /// Takes one sample immediately, outside the periodic schedule.
+  /// No-op while suspended.
   void sampleNow();
+
+  /// Suspends (or resumes) sampling: a suspended sensor keeps its periodic
+  /// schedule but takes no measurements, so consumers see the last-known
+  /// value ageing — exactly what a monitoring blackout looks like from the
+  /// information service.  lastSampleTime() exposes the staleness.
+  void setSuspended(bool V) { Suspended = V; }
+  bool suspended() const { return Suspended; }
 
 private:
   Simulator &Sim;
@@ -66,6 +74,7 @@ private:
   TimeSeries History;
   NwsForecaster Fc;
   EventId Periodic = InvalidEventId;
+  bool Suspended = false;
 };
 
 } // namespace dgsim

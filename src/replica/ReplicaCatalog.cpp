@@ -74,6 +74,16 @@ std::vector<Host *> ReplicaCatalog::locate(std::string_view Lfn) const {
   return F->Locations;
 }
 
+std::vector<Host *> ReplicaCatalog::listReplicas(std::string_view Lfn) const {
+  std::vector<Host *> Locs = locate(Lfn);
+  std::sort(Locs.begin(), Locs.end(), [](const Host *A, const Host *B) {
+    if (int C = A->name().compare(B->name()))
+      return C < 0;
+    return A->node() < B->node();
+  });
+  return Locs;
+}
+
 Host *ReplicaCatalog::replicaAt(std::string_view Lfn, NodeId Node) const {
   const LogicalFile *F = findFile(Lfn);
   if (!F)

@@ -59,6 +59,13 @@ public:
   /// \returns the hosts holding \p Lfn (empty when none or unknown).
   std::vector<Host *> locate(std::string_view Lfn) const;
 
+  /// \returns the hosts holding \p Lfn sorted by host name (ties — which
+  /// only arise if two hosts share a name — break on node id).  Unlike
+  /// locate(), the order is independent of registration history, so
+  /// failover sweeps and reports that iterate replicas stay deterministic
+  /// across catalogs built in different orders.
+  std::vector<Host *> listReplicas(std::string_view Lfn) const;
+
   /// \returns the replica of \p Lfn residing at \p Node, or nullptr.
   Host *replicaAt(std::string_view Lfn, NodeId Node) const;
 

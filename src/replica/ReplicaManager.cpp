@@ -45,10 +45,116 @@ TransferId ReplicaManager::replicate(const std::string &Lfn, Host &Target,
   return Transfers.submit(
       Spec, [this, Lfn, &Target,
              Done = std::move(OnReplicated)](const TransferResult &R) {
-        Catalog.addReplica(Lfn, Target);
+        // A transfer the retry machinery gave up on must not register a
+        // phantom replica: the destination holds a partial file at best.
+        if (R.succeeded())
+          Catalog.addReplica(Lfn, Target);
         if (Done)
           Done(Lfn, Target, R);
       });
+}
+
+struct ReplicaManager::FetchState {
+  Host *Target = nullptr;
+  FetchOptions Options;
+  FetchFn Done;
+  FetchResult Res;
+  /// Sources already tried this fetch; select() never returns them again.
+  std::vector<const Host *> Tried;
+};
+
+TransferId ReplicaManager::fetch(const std::string &Lfn, Host &Target,
+                                 FetchOptions Options, FetchFn OnDone) {
+  assert(Catalog.hasFile(Lfn) && "fetching an unregistered file");
+  auto St = std::make_shared<FetchState>();
+  St->Target = &Target;
+  St->Options = Options;
+  St->Done = std::move(OnDone);
+  St->Res.Lfn = Lfn;
+  St->Res.FileBytes = Catalog.fileSize(Lfn);
+  St->Res.StartTime = Transfers.sim().now();
+
+  // Fig 1, step 1: a usable local copy needs no transfer at all.
+  Host *Local = Catalog.replicaAt(Lfn, Target.node());
+  if (Local && Local->available()) {
+    St->Res.LocalHit = true;
+    St->Res.FinalSource = Local;
+    St->Res.DeliveredBytes = St->Res.FileBytes;
+    finishFetch(St, /*Succeeded=*/true);
+    return InvalidTransferId;
+  }
+
+  startFetchAttempt(St);
+  return InvalidTransferId;
+}
+
+void ReplicaManager::startFetchAttempt(std::shared_ptr<FetchState> St) {
+  const std::string &Lfn = St->Res.Lfn;
+  // A dead destination cannot accept bytes from anywhere: failing over to
+  // another source would only burn attempts.
+  if (!St->Target->isUp()) {
+    finishFetch(St, /*Succeeded=*/false);
+    return;
+  }
+  SelectionResult Sel = Selector.select(St->Target->node(), Lfn, St->Tried);
+  if (!Sel.Chosen) {
+    finishFetch(St, /*Succeeded=*/false);
+    return;
+  }
+  St->Tried.push_back(Sel.Chosen);
+  St->Res.FinalSource = Sel.Chosen;
+
+  TransferSpec Spec;
+  Spec.Source = Sel.Chosen;
+  Spec.Destination = St->Target;
+  Spec.FileBytes = St->Res.FileBytes;
+  Spec.Protocol = St->Options.Protocol;
+  Spec.Streams = St->Options.Streams;
+  // GridFTP resumes across failover via partial file transfer: the
+  // destination keeps what earlier sources delivered, so the next source
+  // only serves the tail.  Plain FTP has no REST: it starts over and the
+  // earlier partial progress is re-sent (ResentBytes accounts for it).
+  Bytes Delivered = St->Res.DeliveredBytes;
+  bool Resume = Spec.Protocol != TransferProtocol::Ftp && Delivered > 0.0 &&
+                Delivered < Spec.FileBytes;
+  if (Resume) {
+    Spec.Range = ByteRange{Delivered, Spec.FileBytes - Delivered};
+  } else if (Delivered > 0.0) {
+    // Starting over: the banked prefix will move again, so it leaves the
+    // delivered ledger (each payload byte is counted delivered once).
+    St->Res.ResentBytes += Delivered;
+    St->Res.DeliveredBytes = 0.0;
+  }
+
+  Transfers.submit(Spec, [this, St](const TransferResult &R) {
+    St->Res.Restarts += R.Restarts;
+    St->Res.Timeouts += R.Timeouts;
+    St->Res.DeliveredBytes += R.DeliveredBytes;
+    St->Res.ResentBytes += R.ResentBytes;
+    if (R.succeeded()) {
+      if (St->Options.Register)
+        Catalog.addReplica(St->Res.Lfn, *St->Target);
+      finishFetch(St, /*Succeeded=*/true);
+      return;
+    }
+    if (St->Res.Failovers >= St->Options.MaxFailovers) {
+      finishFetch(St, /*Succeeded=*/false);
+      return;
+    }
+    ++St->Res.Failovers;
+    ++TotalFailovers;
+    startFetchAttempt(St);
+  });
+}
+
+void ReplicaManager::finishFetch(std::shared_ptr<FetchState> St,
+                                 bool Succeeded) {
+  St->Res.Succeeded = Succeeded;
+  St->Res.EndTime = Transfers.sim().now();
+  if (!Succeeded)
+    ++FailedFetches;
+  if (St->Done)
+    St->Done(St->Res);
 }
 
 bool ReplicaManager::remove(const std::string &Lfn, const Host &Location) {

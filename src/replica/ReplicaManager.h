@@ -14,6 +14,14 @@
 /// the catalog only after the last byte lands — a failed or cancelled
 /// transfer never yields a phantom replica.
 ///
+/// fetch() is the fault-tolerant variant: when a transfer is reported
+/// Failed (retry budget exhausted, source host crashed for good), it
+/// re-runs selection over the *surviving* replicas — excluding every
+/// source already tried — and resumes from the next-best site.  GridFTP
+/// fetches resume with a partial-file byte range starting at the bytes the
+/// destination already holds, so delivered bytes are never moved twice
+/// even across a failover; plain FTP starts over.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DGSIM_REPLICA_REPLICAMANAGER_H
@@ -23,9 +31,50 @@
 #include "replica/ReplicaSelector.h"
 
 #include <functional>
+#include <memory>
 #include <string>
 
 namespace dgsim {
+
+/// Knobs for a fault-tolerant fetch().
+struct FetchOptions {
+  /// Parallel streams per data connection.
+  unsigned Streams = 4;
+  /// Transport; resume-across-failover needs a GridFTP protocol.
+  TransferProtocol Protocol = TransferProtocol::GridFtpModeE;
+  /// How many times fetch() moves to another replica after a failed
+  /// transfer before giving up (distinct sources tried = MaxFailovers + 1,
+  /// catalog permitting).
+  unsigned MaxFailovers = 8;
+  /// Register the destination as a new replica holder on success.
+  bool Register = true;
+};
+
+/// Outcome of a fetch(), aggregated across every attempt.
+struct FetchResult {
+  bool Succeeded = false;
+  std::string Lfn;
+  /// The source that served the final (successful or last-failed) attempt;
+  /// null when no live replica existed at all.
+  Host *FinalSource = nullptr;
+  /// The file was already local to the destination: no data moved.
+  bool LocalHit = false;
+  /// Transfers abandoned in favour of another replica.
+  unsigned Failovers = 0;
+  /// Data-connection failures survived, summed over attempts.
+  unsigned Restarts = 0;
+  /// Stall timeouts detected, summed over attempts.
+  unsigned Timeouts = 0;
+  /// Payload bytes of the logical file.
+  Bytes FileBytes = 0.0;
+  /// Payload bytes that landed exactly once (== FileBytes on success; the
+  /// conservation invariant chaos tests pin).
+  Bytes DeliveredBytes = 0.0;
+  /// Payload bytes moved more than once (FTP restarts / failover re-sends).
+  Bytes ResentBytes = 0.0;
+  SimTime StartTime = 0.0;
+  SimTime EndTime = 0.0;
+};
 
 /// Orchestrates replica creation and deletion.
 class ReplicaManager {
@@ -33,6 +82,7 @@ public:
   using ReplicatedFn =
       std::function<void(const std::string &Lfn, Host &NewLocation,
                          const TransferResult &)>;
+  using FetchFn = std::function<void(const FetchResult &)>;
 
   ReplicaManager(ReplicaCatalog &Catalog, ReplicaSelector &Selector,
                  TransferManager &Transfers);
@@ -49,16 +99,39 @@ public:
                        unsigned Streams = 4,
                        ReplicatedFn OnReplicated = nullptr);
 
+  /// Fetches \p Lfn to \p Target with failover: selection picks the best
+  /// live replica, and every time a transfer is reported Failed the fetch
+  /// re-selects among the surviving holders (sources already tried are
+  /// excluded) and resumes from the bytes already delivered.  \p OnDone
+  /// fires exactly once, synchronously for the local-hit and
+  /// no-live-replica cases.  \returns the first attempt's transfer id, or
+  /// InvalidTransferId when no transfer was started.
+  TransferId fetch(const std::string &Lfn, Host &Target,
+                   FetchOptions Options = {}, FetchFn OnDone = nullptr);
+
   /// Unregisters the replica at \p Location.  \returns true on removal.
   /// Removing the last replica of a file is refused (data loss guard).
   bool remove(const std::string &Lfn, const Host &Location);
 
   ReplicaCatalog &catalog() { return Catalog; }
 
+  /// \returns how many fetch() attempts moved to another replica, across
+  /// all fetches this manager ran (the experiment-sink failover counter).
+  uint64_t totalFailovers() const { return TotalFailovers; }
+
+  /// \returns how many fetch() calls ended unsuccessfully.
+  uint64_t failedFetches() const { return FailedFetches; }
+
 private:
+  struct FetchState;
+  void startFetchAttempt(std::shared_ptr<FetchState> St);
+  void finishFetch(std::shared_ptr<FetchState> St, bool Succeeded);
+
   ReplicaCatalog &Catalog;
   ReplicaSelector &Selector;
   TransferManager &Transfers;
+  uint64_t TotalFailovers = 0;
+  uint64_t FailedFetches = 0;
 };
 
 } // namespace dgsim

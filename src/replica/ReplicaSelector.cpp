@@ -6,6 +6,7 @@
 
 #include "replica/ReplicaSelector.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace dgsim;
@@ -17,23 +18,47 @@ ReplicaSelector::ReplicaSelector(ReplicaCatalog &Catalog,
     : Catalog(Catalog), Info(Info), Policy(Policy),
       ReportModel(ReportWeights) {}
 
-SelectionResult ReplicaSelector::select(NodeId ClientNode,
-                                        const std::string &Lfn) {
+SelectionResult
+ReplicaSelector::select(NodeId ClientNode, const std::string &Lfn,
+                        const std::vector<const Host *> &Exclude) {
   SelectionResult R;
   R.Candidates = scoreAll(ClientNode, Lfn);
   assert(!R.Candidates.empty() && "selecting a file with no replicas");
 
-  // Fig 1, step 1: a local copy short-circuits everything.
+  auto Excluded = [&Exclude](const Host *H) {
+    return std::find(Exclude.begin(), Exclude.end(), H) != Exclude.end();
+  };
+
+  // Fig 1, step 1: a local copy short-circuits everything — but only a
+  // copy that can actually be read (host up, storage online, not already
+  // tried and failed).
   if (Host *Local = Catalog.replicaAt(Lfn, ClientNode)) {
-    R.Chosen = Local;
-    R.LocalHit = true;
-    if (Trace)
-      Trace->record(Info.now(), TraceCategory::Selection,
-                    Lfn + ": local hit at " + Local->name());
-    return R;
+    if (Local->available() && !Excluded(Local)) {
+      R.Chosen = Local;
+      R.LocalHit = true;
+      if (Trace)
+        Trace->record(Info.now(), TraceCategory::Selection,
+                      Lfn + ": local hit at " + Local->name());
+      return R;
+    }
   }
 
-  std::vector<Host *> Candidates = Catalog.locate(Lfn);
+  // Dead or excluded holders never enter the policy's candidate list:
+  // failover must always land on a live replica.
+  std::vector<Host *> Candidates;
+  size_t Holders = 0;
+  for (Host *H : Catalog.locate(Lfn)) {
+    ++Holders;
+    if (H->available() && !Excluded(H))
+      Candidates.push_back(H);
+  }
+  if (Candidates.empty()) {
+    if (Trace)
+      Trace->record(Info.now(), TraceCategory::Selection,
+                    Lfn + ": no live replica among " +
+                        std::to_string(Holders) + " holder(s)");
+    return R; // Chosen stays null.
+  }
   R.Chosen = Policy.choose(ClientNode, Candidates, Info);
   assert(R.Chosen && "policy returned no choice");
   if (Trace)

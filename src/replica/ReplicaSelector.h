@@ -44,11 +44,14 @@ struct CandidateReport {
 
 /// Outcome of a selection.
 struct SelectionResult {
-  /// The chosen replica holder; never null on success.
+  /// The chosen replica holder; null when no live, non-excluded replica
+  /// exists (every holder is down or already tried) — the failover layer
+  /// treats that as "give up".
   Host *Chosen = nullptr;
   /// True when the file was found at the client's own node (no transfer).
   bool LocalHit = false;
-  /// Every candidate's factors and score, catalogue order.
+  /// Every candidate's factors and score, catalogue order — including
+  /// unavailable holders (their report is how an operator sees the outage).
   std::vector<CandidateReport> Candidates;
 };
 
@@ -62,8 +65,13 @@ public:
                   CostWeights ReportWeights = CostWeights());
 
   /// Runs the Fig 1 scenario for \p Lfn on behalf of a client at
-  /// \p ClientNode.  The file must have at least one replica.
-  SelectionResult select(NodeId ClientNode, const std::string &Lfn);
+  /// \p ClientNode.  The file must have at least one replica.  Holders
+  /// that are down (host crashed or storage element offline) and holders
+  /// in \p Exclude are skipped; when nothing survives the filter, the
+  /// result carries a null Chosen.  Failover re-selection passes the
+  /// sources it already tried via \p Exclude.
+  SelectionResult select(NodeId ClientNode, const std::string &Lfn,
+                         const std::vector<const Host *> &Exclude = {});
 
   /// Scores every candidate without choosing (the Fig 5 cost program).
   std::vector<CandidateReport> scoreAll(NodeId ClientNode,

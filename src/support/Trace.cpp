@@ -23,6 +23,8 @@ const char *dgsim::traceCategoryName(TraceCategory C) {
     return "network";
   case TraceCategory::Monitor:
     return "monitor";
+  case TraceCategory::Fault:
+    return "fault";
   }
   assert(false && "unknown trace category");
   return "?";

@@ -31,10 +31,13 @@ enum class TraceCategory : unsigned {
   Replication,
   Network,
   Monitor,
+  /// Fault-injection activity: outages beginning/ending, crash/reboot,
+  /// blackout windows (src/fault/FaultInjector).
+  Fault,
 };
 
 /// Number of categories (for iteration).
-inline constexpr unsigned NumTraceCategories = 5;
+inline constexpr unsigned NumTraceCategories = 6;
 
 /// \returns a short printable category name ("transfer", ...).
 const char *traceCategoryName(TraceCategory C);

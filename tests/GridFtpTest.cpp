@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 using namespace dgsim;
@@ -402,6 +403,77 @@ TEST_F(TransferFixture, PlainFtpRestartsFromScratch) {
   EXPECT_EQ(Result.Restarts, 1u);
   // Half the data time is wasted: total is ~1.5x the clean run.
   EXPECT_GT(Result.totalSeconds(), Clean.totalSeconds() * 1.4);
+}
+
+TEST_F(TransferFixture, RestartMarkerResumeConservesBytesAcrossStreamCounts) {
+  // The restart-marker contract must hold at every parallelism level: one
+  // mid-transfer failure costs a reconnect, never a re-send.
+  for (unsigned Streams : {1u, 4u, 16u}) {
+    TransferSpec S;
+    S.Source = Src.get();
+    S.Destination = Dst.get();
+    S.FileBytes = megabytes(128);
+    S.Protocol = TransferProtocol::GridFtpModeE;
+    S.Streams = Streams;
+    TransferResult Clean = runOne(S);
+
+    TransferResult Result;
+    bool Done = false;
+    TransferId Id = Mgr->submit(S, [&](const TransferResult &R) {
+      Result = R;
+      Done = true;
+    });
+    Sim.schedule(Clean.StartupSeconds + Clean.DataSeconds * 0.4,
+                 [&] { Mgr->injectFailure(Id); });
+    Sim.run();
+    ASSERT_TRUE(Done) << Streams << " streams";
+    EXPECT_EQ(Result.Restarts, 1u) << Streams << " streams";
+    // Delivered-byte conservation: exactly the file landed, none of it
+    // twice.
+    EXPECT_NEAR(Result.DeliveredBytes, Result.FileBytes, 1.0)
+        << Streams << " streams";
+    EXPECT_DOUBLE_EQ(Result.ResentBytes, 0.0) << Streams << " streams";
+    EXPECT_LT(Result.totalSeconds(), Clean.totalSeconds() * 1.1)
+        << Streams << " streams";
+  }
+}
+
+TEST_F(TransferFixture, FailureOnModeEBlockBoundaryResumesExactly) {
+  // Land the failure at the instant an exact number of MODE E blocks has
+  // crossed the wire (the quiet fixture gives a constant data rate, so
+  // the instant is computable from the clean run).  The resume volume is
+  // then exactly the remaining whole blocks — any off-by-one in the
+  // delivered/remaining split would break conservation here.
+  TransferSpec S;
+  S.Source = Src.get();
+  S.Destination = Dst.get();
+  S.FileBytes = megabytes(64);
+  S.Protocol = TransferProtocol::GridFtpModeE;
+  S.Streams = 1;
+  TransferResult Clean = runOne(S);
+
+  ProtocolCosts Costs; // The fixture's manager runs on the defaults.
+  Bytes Wire =
+      protocolWireBytes(TransferProtocol::GridFtpModeE, Costs, S.FileBytes);
+  double WireRate = Wire / Clean.DataSeconds;
+  const Bytes BlockWire = Costs.ModeEBlockBytes + Costs.ModeEHeaderBytes;
+  Bytes BoundaryWire = std::floor(Wire / BlockWire / 2.0) * BlockWire;
+  ASSERT_GT(BoundaryWire, 0.0);
+
+  TransferResult Result;
+  bool Done = false;
+  TransferId Id = Mgr->submit(S, [&](const TransferResult &R) {
+    Result = R;
+    Done = true;
+  });
+  Sim.schedule(Clean.StartupSeconds + BoundaryWire / WireRate,
+               [&] { Mgr->injectFailure(Id); });
+  Sim.run();
+  ASSERT_TRUE(Done);
+  EXPECT_EQ(Result.Restarts, 1u);
+  EXPECT_NEAR(Result.DeliveredBytes, Result.FileBytes, 1.0);
+  EXPECT_DOUBLE_EQ(Result.ResentBytes, 0.0);
+  EXPECT_LT(Result.totalSeconds(), Clean.totalSeconds() * 1.1);
 }
 
 TEST_F(TransferFixture, FailureDuringStartupIsHarmless) {

@@ -156,6 +156,29 @@ TEST(ReplicaCatalog, ReplicaAtFindsLocalCopy) {
   EXPECT_EQ(Cat.replicaAt("missing", 7), nullptr);
 }
 
+TEST(ReplicaCatalog, ListReplicasSortedWithLexicographicTieBreak) {
+  // listReplicas() pins a reporting order independent of registration
+  // order: by host name, node id breaking exact-name ties (two hosts may
+  // share a name across grids in tooling dumps).
+  Simulator Sim(3);
+  Host Zeta(Sim, mkHost("zeta"), 1), Alpha(Sim, mkHost("alpha"), 2),
+      Mid(Sim, mkHost("mid"), 3), AlphaTwin(Sim, mkHost("alpha"), 9);
+  ReplicaCatalog Cat;
+  Cat.registerFile("f", 1.0e6);
+  // Register deliberately out of order.
+  Cat.addReplica("f", Zeta);
+  Cat.addReplica("f", AlphaTwin);
+  Cat.addReplica("f", Mid);
+  Cat.addReplica("f", Alpha);
+  std::vector<Host *> L = Cat.listReplicas("f");
+  ASSERT_EQ(L.size(), 4u);
+  EXPECT_EQ(L[0], &Alpha);     // "alpha", node 2.
+  EXPECT_EQ(L[1], &AlphaTwin); // "alpha", node 9: tie broken by node id.
+  EXPECT_EQ(L[2], &Mid);
+  EXPECT_EQ(L[3], &Zeta);
+  EXPECT_TRUE(Cat.listReplicas("missing").empty());
+}
+
 TEST(ReplicaCatalog, ListFilesSorted) {
   ReplicaCatalog Cat;
   Cat.registerFile("zeta", 1.0);

@@ -1,0 +1,32 @@
+# Runs a bench binary and compares its stdout byte-for-byte against a
+# committed golden file.  The reproductions are deterministic simulations:
+# any diff is a real behaviour change (or an intentional one — regenerate
+# with `<binary> --no-json > tests/golden/<name>.txt` and commit).
+#
+# Usage: cmake -DBINARY=<path> -DGOLDEN=<path> [-DARGS=<;-list>] -P golden_diff.cmake
+
+if(NOT DEFINED BINARY OR NOT DEFINED GOLDEN)
+  message(FATAL_ERROR "golden_diff.cmake needs -DBINARY=... and -DGOLDEN=...")
+endif()
+if(NOT DEFINED ARGS)
+  set(ARGS "--no-json")
+endif()
+
+execute_process(
+  COMMAND ${BINARY} ${ARGS}
+  OUTPUT_VARIABLE ACTUAL
+  RESULT_VARIABLE STATUS)
+if(NOT STATUS EQUAL 0)
+  message(FATAL_ERROR "${BINARY} exited with status ${STATUS} (shape check failure?)")
+endif()
+
+file(READ ${GOLDEN} EXPECTED)
+if(NOT ACTUAL STREQUAL EXPECTED)
+  # Leave the actual output next to the golden name for a quick diff.
+  get_filename_component(NAME ${GOLDEN} NAME_WE)
+  set(ACTUAL_FILE ${CMAKE_CURRENT_BINARY_DIR}/golden_${NAME}.actual)
+  file(WRITE ${ACTUAL_FILE} "${ACTUAL}")
+  message(FATAL_ERROR "output of ${BINARY} diverges from ${GOLDEN}\n"
+                      "actual output written to ${ACTUAL_FILE}\n"
+                      "regenerate the golden if the change is intentional")
+endif()
