@@ -20,8 +20,10 @@
 #include "support/Table.h"
 #include "support/Units.h"
 
+#include <cmath>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace dgsim {
 namespace bench {
@@ -58,23 +60,99 @@ inline void banner(const char *Title, const char *PaperArtifact) {
   std::printf("reproduces: %s\n\n", PaperArtifact);
 }
 
-/// Whether any shapeCheck() so far failed (process-wide).
-inline bool &anyShapeFailure() {
-  static bool Failed = false;
-  return Failed;
+/// One failed shape check, kept structured so the exit path can say what
+/// number broke which property — not just that "something failed".
+struct ShapeFailure {
+  std::string Property;
+  /// The measured quantity ("goodput_mbps", ...); empty for boolean
+  /// checks that carry no number.
+  std::string Metric;
+  /// Human-readable bound ("\>= 120.0", "within 15% of 4.2").
+  std::string Expected;
+  double Actual = 0.0;
+};
+
+/// Every failed shape check so far (process-wide).
+inline std::vector<ShapeFailure> &shapeFailures() {
+  static std::vector<ShapeFailure> Failures;
+  return Failures;
 }
+
+/// Whether any shapeCheck() so far failed (process-wide).
+inline bool anyShapeFailure() { return !shapeFailures().empty(); }
 
 /// Prints the pass/fail line for the qualitative paper-shape property and
 /// records failures; exitCode() turns them into the process exit status,
 /// so CI smoke entries gate on paper shapes without per-bench bookkeeping.
 inline void shapeCheck(bool Ok, const char *Property) {
   if (!Ok)
-    anyShapeFailure() = true;
+    shapeFailures().push_back({Property, "", "", 0.0});
   std::printf("paper-shape check: [%s] %s\n", Ok ? "OK" : "FAIL", Property);
 }
 
-/// Process exit status: non-zero iff any paper-shape check failed.
-inline int exitCode() { return anyShapeFailure() ? 1 : 0; }
+namespace detail {
+inline std::string formatNumber(double V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%g", V);
+  return Buf;
+}
+inline void shapeCheckBound(bool Ok, double Actual, const char *Metric,
+                            std::string Expected, const char *Property) {
+  if (!Ok)
+    shapeFailures().push_back(
+        {Property, Metric, std::move(Expected), Actual});
+  std::printf("paper-shape check: [%s] %s\n", Ok ? "OK" : "FAIL", Property);
+}
+} // namespace detail
+
+/// shapeCheck(Actual >= Bound), recording metric name and both numbers.
+inline bool shapeCheckGe(double Actual, double Bound, const char *Metric,
+                         const char *Property) {
+  bool Ok = Actual >= Bound;
+  detail::shapeCheckBound(Ok, Actual, Metric,
+                          ">= " + detail::formatNumber(Bound), Property);
+  return Ok;
+}
+
+/// shapeCheck(Actual <= Bound), recording metric name and both numbers.
+inline bool shapeCheckLe(double Actual, double Bound, const char *Metric,
+                         const char *Property) {
+  bool Ok = Actual <= Bound;
+  detail::shapeCheckBound(Ok, Actual, Metric,
+                          "<= " + detail::formatNumber(Bound), Property);
+  return Ok;
+}
+
+/// shapeCheck(|Actual - Expected| <= RelTol * |Expected|).
+inline bool shapeCheckNear(double Actual, double Expected, double RelTol,
+                           const char *Metric, const char *Property) {
+  bool Ok = std::fabs(Actual - Expected) <= RelTol * std::fabs(Expected);
+  detail::shapeCheckBound(Ok, Actual, Metric,
+                          "within " + detail::formatNumber(RelTol * 100.0) +
+                              "% of " + detail::formatNumber(Expected),
+                          Property);
+  return Ok;
+}
+
+/// Process exit status: non-zero iff any paper-shape check failed.  On
+/// failure, re-prints every failed check with its metric and the expected
+/// vs actual values, so a red CI log ends with the numbers that broke.
+inline int exitCode() {
+  const std::vector<ShapeFailure> &Failures = shapeFailures();
+  if (Failures.empty())
+    return 0;
+  std::printf("\n%zu shape-check failure%s:\n", Failures.size(),
+              Failures.size() == 1 ? "" : "s");
+  for (const ShapeFailure &F : Failures) {
+    if (F.Metric.empty())
+      std::printf("  FAIL %s\n", F.Property.c_str());
+    else
+      std::printf("  FAIL %s: %s expected %s, got %s\n", F.Property.c_str(),
+                  F.Metric.c_str(), F.Expected.c_str(),
+                  detail::formatNumber(F.Actual).c_str());
+  }
+  return 1;
+}
 
 } // namespace bench
 } // namespace dgsim

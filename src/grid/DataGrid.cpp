@@ -7,6 +7,8 @@
 #include "grid/DataGrid.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace dgsim;
 
@@ -21,6 +23,17 @@ DataGrid::DataGrid(uint64_t Seed, InformationServiceConfig InfoConfig,
 DataGrid::~DataGrid() = default;
 
 std::unique_ptr<DataGrid> DataGrid::buildFrom(const GridSpec &Spec) {
+  // Reject malformed specs up front with messages naming the offending
+  // field — a bad name would otherwise surface as a bare assert (or, with
+  // NDEBUG, a null deref) deep inside the build.
+  std::vector<std::string> Problems = Spec.validate();
+  if (!Problems.empty()) {
+    std::fprintf(stderr, "GridSpec validation failed (%zu problem%s):\n",
+                 Problems.size(), Problems.size() == 1 ? "" : "s");
+    for (const std::string &P : Problems)
+      std::fprintf(stderr, "  - %s\n", P.c_str());
+    std::abort();
+  }
   auto G = std::make_unique<DataGrid>(Spec.Seed, Spec.Info, Spec.Costs);
   for (const SiteConfig &S : Spec.Sites)
     G->addSite(S);
@@ -49,6 +62,8 @@ std::unique_ptr<DataGrid> DataGrid::buildFrom(const GridSpec &Spec) {
                        T.MinFlowBytes, T.Streams);
   for (const CatalogFileSpec &F : Spec.Files)
     G->registerCatalogFile(F);
+  for (const WorkloadSpec &L : Spec.Workloads)
+    G->addWorkload(L);
   if (!Spec.Faults.empty())
     G->setFaultPlan(Spec.Faults);
   // Replaying appends to the new grid's own spec in the same canonical
@@ -217,6 +232,18 @@ CrossTraffic &DataGrid::addCrossTraffic(const std::string &FromSite,
   Spec.Traffic.push_back(
       {FromSite, ToSite, MeanInterarrival, MinFlowBytes, Streams});
   return *Traffic.back();
+}
+
+size_t DataGrid::addWorkload(const WorkloadSpec &W) {
+  assert(finalized() && "addWorkload() before finalize()");
+  assert(!Injector &&
+         "addWorkload() after setFaultPlan() would reorder random forks");
+  // One child stream per workload, forked in declaration order: adding a
+  // later workload (or the fault plan) never perturbs this one's arrivals.
+  RandomEngine Rng = Sim.forkRng();
+  WorkloadArrivalLists.push_back(expandWorkload(W, Rng));
+  Spec.Workloads.push_back(W);
+  return Spec.Workloads.size() - 1;
 }
 
 void DataGrid::setFaultPlan(const FaultPlan &Plan) {

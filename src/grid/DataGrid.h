@@ -148,6 +148,20 @@ public:
   /// catalog, recording it in spec().  Must be called after finalize().
   void registerCatalogFile(const CatalogFileSpec &File);
 
+  /// Declares an open-loop workload: records it in spec() and expands its
+  /// arrival stream through a RandomEngine forked off the kernel (one
+  /// child per workload, declaration order — the FaultPlan convention).
+  /// Must be called after finalize() and before setFaultPlan(), so the
+  /// injector's fork always lands after every workload's.  Expansion only
+  /// — nothing runs until a WorkloadDriver starts it.
+  /// \returns the workload's index (for workloadArrivals / driver start).
+  size_t addWorkload(const WorkloadSpec &W);
+
+  /// The expanded arrival stream of workload \p Index (addWorkload order).
+  const std::vector<WorkloadArrival> &workloadArrivals(size_t Index) const {
+    return WorkloadArrivalLists.at(Index);
+  }
+
   /// Arms \p Plan on the grid: records it in spec() and constructs the
   /// FaultInjector that replays it.  Must be called after finalize(), at
   /// most once, and — for bit-identical spec replay — after every other
@@ -169,6 +183,7 @@ private:
   std::unique_ptr<InformationService> InfoService;
   std::unique_ptr<TransferManager> Transfers;
   std::vector<std::unique_ptr<CrossTraffic>> Traffic;
+  std::vector<std::vector<WorkloadArrival>> WorkloadArrivalLists;
   std::unique_ptr<FaultInjector> Injector;
   ReplicaCatalog Catalog;
   TraceLog Trace;

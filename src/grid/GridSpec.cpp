@@ -9,8 +9,162 @@
 #include "support/Json.h"
 
 #include <cstdio>
+#include <set>
 
 using namespace dgsim;
+
+namespace {
+
+/// "host 'alpha9' in ..." style formatting without pulling in a printf
+/// wrapper: validation messages must name the offending field so a user
+/// can fix the spec without reading DataGrid internals.
+std::string quoted(const std::string &S) { return "'" + S + "'"; }
+
+} // namespace
+
+std::vector<std::string> GridSpec::validate() const {
+  std::vector<std::string> Errors;
+  auto Err = [&Errors](std::string Msg) { Errors.push_back(std::move(Msg)); };
+
+  // Name tables first; later checks resolve against them.
+  std::set<std::string> SiteNames, HostNames, EndpointNames, LfnNames;
+  for (const SiteConfig &S : Sites) {
+    if (S.Name.empty())
+      Err("site with empty name");
+    if (!SiteNames.insert(S.Name).second)
+      Err("duplicate site name " + quoted(S.Name));
+    if (S.Hosts.empty())
+      Err("site " + quoted(S.Name) + " has no hosts");
+    if (S.LanCapacity <= 0.0)
+      Err("site " + quoted(S.Name) + " has non-positive LAN capacity");
+    for (const SiteHostSpec &H : S.Hosts) {
+      if (H.Name.empty())
+        Err("host with empty name in site " + quoted(S.Name));
+      if (!HostNames.insert(H.Name).second)
+        Err("duplicate host name " + quoted(H.Name));
+      if (H.CpuSpeed <= 0.0)
+        Err("host " + quoted(H.Name) + " has non-positive CPU speed");
+      if (H.NicRate <= 0.0 || H.DiskReadRate <= 0.0 || H.DiskWriteRate <= 0.0)
+        Err("host " + quoted(H.Name) + " has a non-positive device rate");
+    }
+  }
+  EndpointNames = SiteNames;
+  for (const std::string &B : Backbones) {
+    if (B.empty())
+      Err("backbone with empty name");
+    if (!EndpointNames.insert(B).second)
+      Err("duplicate endpoint name " + quoted(B) +
+          " (backbone collides with a site or another backbone)");
+  }
+
+  for (const LinkSpec &L : Links) {
+    for (const std::string &End : {L.A, L.B})
+      if (!EndpointNames.count(End))
+        Err("link endpoint " + quoted(End) +
+            " names no declared site or backbone");
+    if (L.A == L.B)
+      Err("link from " + quoted(L.A) + " to itself");
+    if (L.Capacity <= 0.0)
+      Err("link " + quoted(L.A) + "-" + quoted(L.B) +
+          " has non-positive capacity");
+    if (L.Loss < 0.0 || L.Loss >= 1.0)
+      Err("link " + quoted(L.A) + "-" + quoted(L.B) +
+          " has loss outside [0, 1)");
+  }
+
+  for (const CrossTrafficSpec &T : Traffic) {
+    for (const std::string &End : {T.FromSite, T.ToSite})
+      if (!SiteNames.count(End))
+        Err("cross-traffic endpoint " + quoted(End) + " names no site");
+    if (T.MeanInterarrival <= 0.0)
+      Err("cross-traffic " + quoted(T.FromSite) + "->" + quoted(T.ToSite) +
+          " has non-positive mean interarrival");
+  }
+
+  for (const CatalogFileSpec &F : Files) {
+    if (F.Lfn.empty())
+      Err("catalog file with empty LFN");
+    if (!LfnNames.insert(F.Lfn).second)
+      Err("duplicate catalog file " + quoted(F.Lfn));
+    if (F.SizeBytes <= 0.0)
+      Err("catalog file " + quoted(F.Lfn) + " has non-positive size");
+    if (F.ReplicaHosts.empty())
+      Err("catalog file " + quoted(F.Lfn) + " has no replica hosts");
+    for (const std::string &R : F.ReplicaHosts)
+      if (!HostNames.count(R))
+        Err("replica host " + quoted(R) + " of file " + quoted(F.Lfn) +
+            " names no declared host");
+  }
+
+  for (const WorkloadSpec &L : Workloads) {
+    if (L.ArrivalsPerSecond <= 0.0)
+      Err("workload " + quoted(L.Name) + " has non-positive arrival rate");
+    if (L.Duration <= 0.0)
+      Err("workload " + quoted(L.Name) + " has non-positive duration");
+    if (L.Start < 0.0)
+      Err("workload " + quoted(L.Name) + " starts before t=0");
+    if (L.Clients.empty())
+      Err("workload " + quoted(L.Name) + " has no client hosts");
+    if (L.Lfns.empty())
+      Err("workload " + quoted(L.Name) + " has no files");
+    if (L.ZipfExponent < 0.0)
+      Err("workload " + quoted(L.Name) + " has negative Zipf exponent");
+    for (const std::string &C : L.Clients)
+      if (!HostNames.count(C))
+        Err("workload " + quoted(L.Name) + " client " + quoted(C) +
+            " names no declared host");
+    for (const std::string &F : L.Lfns)
+      if (!LfnNames.count(F))
+        Err("workload " + quoted(L.Name) + " file " + quoted(F) +
+            " names no catalog file");
+  }
+
+  // Fault-plan shapes.  Windows with Duration <= 0 (i.e. end <= start)
+  // would replay as zero-length outages that repair before they break —
+  // always a spec bug, never an intent.
+  auto CheckTargets = [&](FaultKind Kind, const std::string &Target,
+                          const std::string &Target2,
+                          const std::string &What) {
+    switch (Kind) {
+    case FaultKind::LinkDown:
+      for (const std::string &End : {Target, Target2})
+        if (!EndpointNames.count(End))
+          Err(What + ": link endpoint " + quoted(End) +
+              " names no declared site or backbone");
+      break;
+    case FaultKind::HostCrash:
+    case FaultKind::StorageOutage:
+      if (!HostNames.count(Target))
+        Err(What + ": target " + quoted(Target) +
+            " names no declared host");
+      break;
+    case FaultKind::SensorBlackout:
+      break; // Grid-wide: no target to resolve.
+    }
+  };
+  for (const FaultWindow &W : Faults.Windows) {
+    std::string What =
+        std::string("fault window (") + faultKindName(W.Kind) + ")";
+    if (W.Duration <= 0.0)
+      Err(What + " on " + quoted(W.Target) +
+          " has end <= start (non-positive duration)");
+    if (W.Start < 0.0)
+      Err(What + " on " + quoted(W.Target) + " starts before t=0");
+    CheckTargets(W.Kind, W.Target, W.Target2, What);
+  }
+  for (const MtbfProcess &P : Faults.Processes) {
+    std::string What =
+        std::string("fault process (") + faultKindName(P.Kind) + ")";
+    if (P.Mtbf <= 0.0)
+      Err(What + " on " + quoted(P.Target) + " has non-positive MTBF");
+    if (P.Mttr <= 0.0)
+      Err(What + " on " + quoted(P.Target) + " has non-positive MTTR");
+    if (P.Horizon < 0.0)
+      Err(What + " on " + quoted(P.Target) + " has negative horizon");
+    CheckTargets(P.Kind, P.Target, P.Target2, What);
+  }
+  return Errors;
+}
 
 std::string GridSpec::canonicalJson() const {
   json::JsonWriter W;
@@ -105,6 +259,11 @@ std::string GridSpec::canonicalJson() const {
     W.endArray();
     W.endObject();
   }
+  W.endArray();
+  W.key("workloads");
+  W.beginArray();
+  for (const WorkloadSpec &L : Workloads)
+    writeWorkloadJson(W, L);
   W.endArray();
   W.key("faults");
   Faults.writeJson(W);

@@ -27,6 +27,7 @@
 #define DGSIM_GRID_GRIDSPEC_H
 
 #include "fault/FaultPlan.h"
+#include "grid/Workload.h"
 #include "gridftp/Protocol.h"
 #include "monitor/InformationService.h"
 #include "support/Units.h"
@@ -98,6 +99,11 @@ struct GridSpec {
   std::vector<LinkSpec> Links;
   std::vector<CrossTrafficSpec> Traffic;
   std::vector<CatalogFileSpec> Files;
+  /// Open-loop request streams driven against the grid (empty = no
+  /// synthetic load).  Recorded by DataGrid::addWorkload and replayed by
+  /// buildFrom in declaration order, so a spec's hash covers its offered
+  /// load and a rebuilt grid replays the same arrival stream.
+  std::vector<WorkloadSpec> Workloads;
   /// The fault schedule the grid replays (empty = nothing ever breaks).
   /// Recorded by DataGrid::setFaultPlan and replayed by buildFrom, so a
   /// spec's hash covers its disasters too.
@@ -106,6 +112,14 @@ struct GridSpec {
   /// Serializes every field, in declaration order, to a canonical JSON
   /// document (deterministic number formatting; no whitespace).
   std::string canonicalJson() const;
+
+  /// Structural validation: every problem that would make buildFrom
+  /// assert or silently build the wrong grid is reported as one
+  /// human-readable message (empty vector = spec is well-formed).
+  /// Checks name resolution (link endpoints, traffic sites, replica and
+  /// workload hosts, catalog files), duplicate names, and parameter
+  /// sanity (positive sizes, rates, windows; fault-plan MTBF/MTTR).
+  std::vector<std::string> validate() const;
 
   /// FNV-1a hash of canonicalJson(): two specs hash equal iff they would
   /// build identical grids.

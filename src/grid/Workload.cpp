@@ -1,0 +1,104 @@
+//===- grid/Workload.cpp -----------------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "grid/Workload.h"
+
+#include "grid/DataGrid.h"
+#include "support/Json.h"
+
+#include <cassert>
+
+using namespace dgsim;
+
+std::vector<WorkloadArrival> dgsim::expandWorkload(const WorkloadSpec &W,
+                                                   RandomEngine &Rng) {
+  assert(W.ArrivalsPerSecond > 0.0 && "workloads need a positive rate");
+  assert(!W.Clients.empty() && "workloads need at least one client host");
+  assert(!W.Lfns.empty() && "workloads need at least one file");
+  std::vector<WorkloadArrival> Arrivals;
+  double MeanGap = 1.0 / W.ArrivalsPerSecond;
+  // Fixed draw order per arrival — gap, client, file — so inserting an
+  // arrival never reshuffles the stream behind it.
+  SimTime T = W.Start + Rng.exponential(MeanGap);
+  while (T < W.Start + W.Duration) {
+    WorkloadArrival A;
+    A.Time = T;
+    A.ClientIdx = static_cast<uint32_t>(Rng.uniformInt(W.Clients.size()));
+    A.LfnIdx = static_cast<uint32_t>(
+        W.ZipfExponent > 0.0 ? Rng.zipf(W.Lfns.size(), W.ZipfExponent)
+                             : Rng.uniformInt(W.Lfns.size()));
+    Arrivals.push_back(A);
+    T += Rng.exponential(MeanGap);
+  }
+  return Arrivals;
+}
+
+void dgsim::writeWorkloadJson(json::JsonWriter &W, const WorkloadSpec &S) {
+  W.beginObject();
+  W.member("name", S.Name);
+  W.member("start", S.Start);
+  W.member("duration", S.Duration);
+  W.member("arrivals_per_second", S.ArrivalsPerSecond);
+  W.key("clients");
+  W.beginArray();
+  for (const std::string &C : S.Clients)
+    W.value(C);
+  W.endArray();
+  W.key("lfns");
+  W.beginArray();
+  for (const std::string &L : S.Lfns)
+    W.value(L);
+  W.endArray();
+  W.member("zipf_exponent", S.ZipfExponent);
+  W.endObject();
+}
+
+WorkloadDriver::WorkloadDriver(DataGrid &Grid, ReplicaManager &Mgr)
+    : Grid(Grid), Mgr(Mgr) {}
+
+void WorkloadDriver::start(size_t Index, const FetchOptions &FetchOpts) {
+  // Snapshot the spec: later addWorkload calls may reallocate the spec's
+  // vector, and the arrival closures outlive this call by the whole run.
+  auto W = std::make_shared<const WorkloadSpec>(
+      Grid.spec().Workloads.at(Index));
+  Simulator &Sim = Grid.sim();
+  for (const WorkloadArrival &A : Grid.workloadArrivals(Index)) {
+    // Open loop: every arrival fires at its own time, whatever the state
+    // of earlier fetches.  Non-daemon, so run() drains the whole stream.
+    Sim.scheduleAt(A.Time, [this, W, A, FetchOpts] {
+      runArrival(*W, A, FetchOpts);
+    });
+  }
+}
+
+void WorkloadDriver::runArrival(const WorkloadSpec &W,
+                                const WorkloadArrival &A,
+                                const FetchOptions &FetchOpts) {
+  Host *Client = Grid.findHost(W.Clients[A.ClientIdx]);
+  assert(Client && "workload client host disappeared");
+  const std::string &Lfn = W.Lfns[A.LfnIdx];
+  ++Counters.Arrivals;
+  Mgr.fetch(Lfn, *Client, FetchOpts, [this](const FetchResult &R) {
+    Counters.QueueWaitSeconds.push_back(R.QueueSeconds);
+    if (R.Succeeded) {
+      ++Counters.Completed;
+      if (R.LocalHit)
+        ++Counters.LocalHits;
+      Counters.GoodputBytes += R.FileBytes;
+      Counters.WastedBytes += R.ResentBytes;
+      Counters.SojournSeconds.push_back(R.EndTime - R.StartTime);
+    } else {
+      if (R.Shed)
+        ++Counters.Shed;
+      else if (R.DeadlineExpired)
+        ++Counters.DeadlineExpired;
+      else
+        ++Counters.Failed;
+      // Partial progress of a dead fetch moved bytes that bought nothing.
+      Counters.WastedBytes += R.DeliveredBytes + R.ResentBytes;
+    }
+  });
+}

@@ -1,0 +1,131 @@
+//===- grid/Workload.h - Declarative open-loop fetch workloads -------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A WorkloadSpec is a pure value describing an open-loop stream of fetch
+/// requests: seeded Poisson arrivals over a window, each arrival picking a
+/// client host uniformly and a logical file from a (optionally Zipf-
+/// skewed) popularity distribution over the declared catalog — the file-
+/// size mixture is whatever sizes those files were declared with.
+///
+/// Open loop means arrivals do not wait for earlier fetches: offered load
+/// is set by the spec, not by the system's completion rate, which is
+/// exactly what overload experiments need to drive a grid past
+/// saturation.
+///
+/// Workloads ride inside GridSpec (serialized into the canonical JSON and
+/// hash) and expand through a RandomEngine forked off the kernel in
+/// declaration order, so DataGrid::buildFrom replays them bit-
+/// identically.  The WorkloadDriver schedules the expanded arrivals as
+/// non-daemon kernel events and runs each fetch through a ReplicaManager,
+/// aggregating the counters the overload benches report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_GRID_WORKLOAD_H
+#define DGSIM_GRID_WORKLOAD_H
+
+#include "replica/ReplicaManager.h"
+#include "support/Random.h"
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dgsim {
+
+namespace json {
+class JsonWriter;
+}
+
+class DataGrid;
+
+/// One open-loop Poisson request stream.
+struct WorkloadSpec {
+  std::string Name = "load";
+  /// Arrivals occupy [Start, Start + Duration).
+  SimTime Start = 0.0;
+  SimTime Duration = 300.0;
+  /// Mean arrival rate (Poisson, so interarrivals are exponential).
+  double ArrivalsPerSecond = 1.0;
+  /// Destination hosts, drawn uniformly per arrival.
+  std::vector<std::string> Clients;
+  /// Logical files to fetch.  Sizes come from the catalog declaration.
+  std::vector<std::string> Lfns;
+  /// Popularity skew across Lfns in declaration order (rank 1 = first).
+  /// 0 = uniform.
+  double ZipfExponent = 0.0;
+};
+
+/// One expanded request: indexes into the spec's Clients/Lfns lists.
+struct WorkloadArrival {
+  SimTime Time = 0.0;
+  uint32_t ClientIdx = 0;
+  uint32_t LfnIdx = 0;
+};
+
+/// Expands \p W into concrete arrivals using \p Rng directly (callers
+/// fork one child per workload, in declaration order, exactly like
+/// FaultPlan::expand).  Sorted by time by construction.
+std::vector<WorkloadArrival> expandWorkload(const WorkloadSpec &W,
+                                            RandomEngine &Rng);
+
+/// Serializes one workload object for GridSpec::canonicalJson().
+void writeWorkloadJson(json::JsonWriter &W, const WorkloadSpec &S);
+
+/// Counters a driven workload accumulates.  Every arrival resolves into
+/// exactly one of Completed / Failed / Shed / DeadlineExpired (local hits
+/// count as Completed).
+struct WorkloadCounters {
+  uint64_t Arrivals = 0;
+  uint64_t Completed = 0;
+  uint64_t Failed = 0;
+  uint64_t Shed = 0;
+  uint64_t DeadlineExpired = 0;
+  uint64_t LocalHits = 0;
+  /// Payload bytes of *successful* fetches — the goodput numerator.
+  Bytes GoodputBytes = 0.0;
+  /// Bytes moved that bought nothing: delivered bytes of unsuccessful
+  /// fetches plus every re-sent byte.
+  Bytes WastedBytes = 0.0;
+  /// Admission-queue wait of every resolved fetch, seconds (one entry
+  /// per arrival, resolution order — deterministic).
+  std::vector<double> QueueWaitSeconds;
+  /// End-to-end sojourn of successful fetches, seconds.
+  std::vector<double> SojournSeconds;
+
+  uint64_t resolved() const {
+    return Completed + Failed + Shed + DeadlineExpired;
+  }
+};
+
+/// Replays expanded workloads against a grid's replica stack.
+class WorkloadDriver {
+public:
+  /// Drives fetches through \p Mgr on \p Grid's kernel.  Both must
+  /// outlive the driver.
+  WorkloadDriver(DataGrid &Grid, ReplicaManager &Mgr);
+
+  /// Schedules every arrival of the grid's workload \p Index (order of
+  /// DataGrid::addWorkload calls) as non-daemon events, each running one
+  /// fetch with \p FetchOpts (per-request deadlines and priorities ride
+  /// in there).  Call once per workload, before sim().run().
+  void start(size_t Index, const FetchOptions &FetchOpts = FetchOptions());
+
+  const WorkloadCounters &counters() const { return Counters; }
+
+private:
+  void runArrival(const WorkloadSpec &W, const WorkloadArrival &A,
+                  const FetchOptions &FetchOpts);
+
+  DataGrid &Grid;
+  ReplicaManager &Mgr;
+  WorkloadCounters Counters;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_GRID_WORKLOAD_H

@@ -15,7 +15,31 @@
 using namespace dgsim;
 
 const char *dgsim::transferStatusName(TransferStatus S) {
-  return S == TransferStatus::Completed ? "completed" : "failed";
+  switch (S) {
+  case TransferStatus::Completed:
+    return "completed";
+  case TransferStatus::Failed:
+    return "failed";
+  case TransferStatus::Shed:
+    return "shed";
+  case TransferStatus::DeadlineExpired:
+    return "deadline-expired";
+  }
+  assert(false && "unknown transfer status");
+  return "?";
+}
+
+const char *dgsim::shedPolicyName(ShedPolicy P) {
+  switch (P) {
+  case ShedPolicy::Reject:
+    return "reject";
+  case ShedPolicy::ShedOldest:
+    return "shed-oldest";
+  case ShedPolicy::ShedLowestPriority:
+    return "shed-lowest-priority";
+  }
+  assert(false && "unknown shed policy");
+  return "?";
 }
 
 void TransferManager::trace(const char *Fmt, ...) const {
@@ -52,6 +76,13 @@ void TransferManager::armWatchdog() {
   });
 }
 
+void TransferManager::setAdmissionPolicy(const AdmissionPolicy &A) {
+  assert(ActiveList.empty() &&
+         "set the admission policy before submitting transfers");
+  Admission = A;
+  Destinations.clear();
+}
+
 TransferManager::ActiveTransfer *
 TransferManager::findTransfer(TransferId Id) {
   auto It = IdToSlot.find(Id);
@@ -66,6 +97,40 @@ void TransferManager::releaseTransfer(TransferId Id) {
   // the kernel's run() alive until the retry would have fired.
   for (Stripe &S : Slots[Slot].StripesLive)
     Sim.cancel(S.RetryEvent);
+  Sim.cancel(Slots[Slot].DeadlineEvent);
+  if (Admission.MaxActivePerDestination) {
+    auto DIt = Destinations.find(Slots[Slot].Spec.Destination);
+    assert(DIt != Destinations.end() && "admission state out of sync");
+    DestState &D = DIt->second;
+    if (Slots[Slot].Queued) {
+      // Shed/cancelled/failed while still pending: drop the queue entry.
+      auto P = std::find(D.Pending.begin(), D.Pending.end(), Id);
+      assert(P != D.Pending.end() && "queued transfer missing from queue");
+      D.Pending.erase(P);
+      assert(QueuedNow > 0 && "queued count underflow");
+      --QueuedNow;
+    } else {
+      assert(D.Active > 0 && "active count underflow");
+      --D.Active;
+      // Promote pending transfers in FIFO order into the freed capacity.
+      while (D.Active < Admission.MaxActivePerDestination &&
+             !D.Pending.empty()) {
+        TransferId Next = D.Pending.front();
+        D.Pending.erase(D.Pending.begin());
+        ++D.Active;
+        assert(QueuedNow > 0 && "queued count underflow");
+        --QueuedNow;
+        ActiveTransfer *N = findTransfer(Next);
+        assert(N && N->Queued && "pending list out of sync");
+        N->Queued = false;
+        N->Result.QueueSeconds = Sim.now() - N->Result.StartTime;
+        trace("#%llu dequeued after %.3f s queue wait",
+              static_cast<unsigned long long>(Next),
+              N->Result.QueueSeconds);
+        startTransfer(Next);
+      }
+    }
+  }
   Slots[Slot] = ActiveTransfer(); // Drop closures and stripe vectors.
   FreeSlots.push_back(Slot);
   IdToSlot.erase(It);
@@ -150,9 +215,105 @@ TransferId TransferManager::submit(const TransferSpec &Spec,
   }
   IdToSlot.emplace(Id, Slot);
   ActiveList.emplace_back(Id, Slot); // Ids are monotonic: stays sorted.
-  Sim.schedule(Startup, [this, Id] { beginData(Id); });
+  // The deadline is armed for the transfer's whole life — queue wait
+  // included — and cancelled when it resolves.  A deadline already in the
+  // past fires on the next kernel step.
+  if (std::isfinite(Spec.Deadline))
+    Slots[Slot].DeadlineEvent =
+        Sim.scheduleAt(std::max(Spec.Deadline, Sim.now()),
+                       [this, Id] { onDeadline(Id); });
+  if (!Admission.MaxActivePerDestination) {
+    startTransfer(Id);
+  } else {
+    DestState &D = Destinations[Spec.Destination];
+    if (D.Active < Admission.MaxActivePerDestination) {
+      ++D.Active;
+      startTransfer(Id);
+    } else {
+      enqueueTransfer(Id, D);
+    }
+  }
   armWatchdog();
   return Id;
+}
+
+void TransferManager::startTransfer(TransferId Id) {
+  ActiveTransfer *Found = findTransfer(Id);
+  assert(Found && !Found->Queued && "starting an unadmitted transfer");
+  Sim.schedule(Found->Result.StartupSeconds, [this, Id] { beginData(Id); });
+}
+
+void TransferManager::enqueueTransfer(TransferId Id, DestState &D) {
+  ActiveTransfer *Found = findTransfer(Id);
+  assert(Found && "queueing an unknown transfer");
+  // Enqueue unconditionally, then shed the overflow victim: this way a
+  // rejected newcomer takes the same bookkeeping path as a displaced
+  // queue entry (releaseTransfer sees Queued and never touches Active).
+  Found->Queued = true;
+  ++QueuedNow;
+  ++TotalQueued;
+  D.Pending.push_back(Id);
+  trace("#%llu queued at %s (%u active, %zu pending)",
+        static_cast<unsigned long long>(Id),
+        Found->Spec.Destination->name().c_str(), D.Active,
+        D.Pending.size());
+  if (D.Pending.size() <= Admission.QueueDepth)
+    return;
+  // Full: pick the victim deterministically.  The newcomer sits at the
+  // tail (ids are monotonic, so Pending is in submission order).
+  TransferId Victim = Id;
+  switch (Admission.Shed) {
+  case ShedPolicy::Reject:
+    break;
+  case ShedPolicy::ShedOldest:
+    Victim = D.Pending.front();
+    break;
+  case ShedPolicy::ShedLowestPriority: {
+    // Lowest priority loses; among equals the earliest submission does —
+    // it has waited longest and is the least likely to still meet a
+    // deadline.  A deterministic argmin over the submission-ordered queue.
+    int WorstPriority = Found->Spec.Priority;
+    for (TransferId P : D.Pending) {
+      ActiveTransfer *Q = findTransfer(P);
+      assert(Q && "pending list out of sync");
+      if (Q->Spec.Priority < WorstPriority ||
+          (Q->Spec.Priority == WorstPriority && P < Victim)) {
+        WorstPriority = Q->Spec.Priority;
+        Victim = P;
+      }
+    }
+    break;
+  }
+  }
+  shedTransfer(Victim, Victim == Id ? "queue full" : "displaced");
+}
+
+void TransferManager::shedTransfer(TransferId Id, const char *Reason) {
+  ActiveTransfer *Found = findTransfer(Id);
+  assert(Found && Found->Queued && "shedding a non-queued transfer");
+  TransferResult Result = Found->Result;
+  Result.Status = TransferStatus::Shed;
+  Result.EndTime = Sim.now();
+  Result.QueueSeconds = Sim.now() - Result.StartTime;
+  Result.StartupSeconds = 0.0; // Never ran the control dialogue.
+  CompletionFn Done = std::move(Found->OnComplete);
+  releaseTransfer(Id);
+  ++TotalShed;
+  trace("#%llu SHED (%s) after %.3f s queued",
+        static_cast<unsigned long long>(Result.Id), Reason,
+        Result.QueueSeconds);
+  // Defer the callback: a Reject-policy shed happens inside submit(),
+  // before the caller even has the transfer id in hand.
+  if (Done)
+    Sim.schedule(0.0, [Done = std::move(Done), Result] { Done(Result); });
+}
+
+void TransferManager::onDeadline(TransferId Id) {
+  ActiveTransfer *Found = findTransfer(Id);
+  if (!Found)
+    return;
+  Found->DeadlineEvent = InvalidEventId;
+  failTransfer(Id, "deadline expired", TransferStatus::DeadlineExpired);
 }
 
 void TransferManager::beginData(TransferId Id) {
@@ -270,7 +431,8 @@ void TransferManager::onStripeDone(TransferId Id, size_t StripeIdx) {
 
   TransferResult Result = T.Result;
   Result.EndTime = Sim.now();
-  Result.DataSeconds = Result.totalSeconds() - Result.StartupSeconds;
+  Result.DataSeconds =
+      Result.totalSeconds() - Result.StartupSeconds - Result.QueueSeconds;
   CompletionFn Done = std::move(T.OnComplete);
   releaseTransfer(Id);
   ++Completed;
@@ -372,9 +534,13 @@ void TransferManager::failStripe(TransferId Id, size_t StripeIdx,
   });
 }
 
-void TransferManager::failTransfer(TransferId Id, const char *Reason) {
+void TransferManager::failTransfer(TransferId Id, const char *Reason,
+                                   TransferStatus St) {
   ActiveTransfer *Found = findTransfer(Id);
   assert(Found && "failing an unknown transfer");
+  assert((St == TransferStatus::Failed ||
+          St == TransferStatus::DeadlineExpired) &&
+         "failTransfer reports failure statuses");
   ActiveTransfer &T = *Found;
   for (Stripe &S : T.StripesLive) {
     if (S.Flow == InvalidFlowId)
@@ -386,16 +552,28 @@ void TransferManager::failTransfer(TransferId Id, const char *Reason) {
     S.AccountedRate = 0.0;
   }
   TransferResult Result = T.Result;
-  Result.Status = TransferStatus::Failed;
+  Result.Status = St;
   Result.EndTime = Sim.now();
-  Result.DataSeconds =
-      std::max(0.0, Result.totalSeconds() - Result.StartupSeconds);
+  if (T.Queued) {
+    // Never admitted (a deadline can expire in the queue): the whole
+    // lifetime was queue wait, and no control dialogue ever ran.
+    Result.QueueSeconds = Sim.now() - Result.StartTime;
+    Result.StartupSeconds = 0.0;
+  }
+  Result.DataSeconds = std::max(0.0, Result.totalSeconds() -
+                                         Result.StartupSeconds -
+                                         Result.QueueSeconds);
   CompletionFn Done = std::move(T.OnComplete);
   releaseTransfer(Id);
-  ++Failed;
-  trace("#%llu FAILED (%s): %.0f of %.0f MB delivered, %u restart(s)",
-        static_cast<unsigned long long>(Result.Id), Reason,
-        Result.DeliveredBytes / (1024.0 * 1024.0),
+  if (St == TransferStatus::DeadlineExpired)
+    ++TotalDeadlineExpired;
+  else
+    ++Failed;
+  trace("#%llu %s (%s): %.0f of %.0f MB delivered, %u restart(s)",
+        static_cast<unsigned long long>(Result.Id),
+        St == TransferStatus::DeadlineExpired ? "DEADLINE EXPIRED"
+                                              : "FAILED",
+        Reason, Result.DeliveredBytes / (1024.0 * 1024.0),
         Result.FileBytes / (1024.0 * 1024.0), Result.Restarts);
   if (Done)
     Done(Result);

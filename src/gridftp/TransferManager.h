@@ -31,6 +31,16 @@
 /// once with Status == Failed and the bytes delivered so far, so a
 /// failover layer (ReplicaManager::fetch) can resume from another replica.
 ///
+/// Overload control (see DESIGN.md "Overload control and graceful
+/// degradation"): an optional AdmissionPolicy bounds the transfers in
+/// flight per destination host.  Excess submissions wait in a FIFO
+/// admission queue of configurable depth; overflow is shed by a
+/// deterministic policy (reject newest / shed oldest / shed lowest
+/// priority) with Status == Shed and zero bytes moved.  Per-transfer
+/// deadlines abort transfers — queued or mid-flight — that can no longer
+/// finish in time (Status == DeadlineExpired).  With the default policy
+/// (MaxActivePerDestination == 0) none of this machinery runs.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DGSIM_GRIDFTP_TRANSFERMANAGER_H
@@ -81,6 +91,15 @@ struct TransferSpec {
   /// Third-party control client node; InvalidNodeId means the destination
   /// drives the transfer itself (the common client-pull case).
   NodeId ControlClient = InvalidNodeId;
+  /// Scheduling priority under admission control: when the pending queue
+  /// overflows under ShedPolicy::ShedLowestPriority, lower-priority
+  /// transfers are shed first (ties go to the earliest submission).
+  int Priority = 0;
+  /// Optional absolute sim-time deadline.  A transfer that has not
+  /// delivered its last byte by this time — whether still queued or
+  /// mid-flight — is aborted with Status == DeadlineExpired.  +inf (the
+  /// default) disables the deadline.
+  SimTime Deadline = std::numeric_limits<double>::infinity();
 };
 
 /// How a transfer ended.
@@ -91,10 +110,49 @@ enum class TransferStatus : uint8_t {
   /// DeliveredBytes says how much usable data landed before the failure
   /// (GridFTP restart markers persist it; a failover fetch resumes there).
   Failed,
+  /// Load-shed by admission control before any byte moved: the
+  /// destination's pending queue was full (or this transfer was displaced
+  /// from it by the shedding policy).  DeliveredBytes is always zero.
+  Shed,
+  /// Aborted because TransferSpec::Deadline passed before completion.
+  /// DeliveredBytes holds the resumable prefix, exactly like Failed.
+  DeadlineExpired,
 };
 
-/// \returns "completed" or "failed".
+/// \returns "completed", "failed", "shed" or "deadline-expired".
 const char *transferStatusName(TransferStatus S);
+
+/// What to do when a destination's pending queue is full and another
+/// transfer arrives.  Every policy is deterministic: the victim depends
+/// only on the queue contents and the newcomer, never on wall clock,
+/// hashing, or RNG state.
+enum class ShedPolicy : uint8_t {
+  /// Shed the newcomer; queued transfers keep their place.
+  Reject,
+  /// Shed the head of the queue (the transfer that has waited longest —
+  /// it is the least likely to still meet a deadline) and queue the
+  /// newcomer at the tail.
+  ShedOldest,
+  /// Shed the lowest TransferSpec::Priority among queue ∪ {newcomer};
+  /// ties go to the earliest submission.  The newcomer may shed itself.
+  ShedLowestPriority,
+};
+
+/// \returns "reject", "shed-oldest" or "shed-lowest-priority".
+const char *shedPolicyName(ShedPolicy P);
+
+/// Per-destination-host admission control.  Disabled by default — with
+/// MaxActivePerDestination == 0 submissions start immediately and the
+/// manager behaves exactly like the pre-admission code.
+struct AdmissionPolicy {
+  /// Transfers allowed in flight (startup or data phase) per destination
+  /// host.  0 disables admission control entirely.
+  unsigned MaxActivePerDestination = 0;
+  /// Pending transfers a destination's queue holds before shedding.
+  unsigned QueueDepth = 16;
+  /// Which transfer to shed when the queue is full.
+  ShedPolicy Shed = ShedPolicy::Reject;
+};
 
 /// Retry/timeout knobs.  The default policy is maximally conservative —
 /// no stall timeout, unbounded reconnect attempts — so a manager without
@@ -137,6 +195,10 @@ struct TransferResult {
   /// How many of those failures were stall-timeout detections.
   unsigned Timeouts = 0;
   SimTime StartTime = 0.0;
+  /// Time spent in the destination's admission queue before the protocol
+  /// startup began (0 when admission control is off or the transfer
+  /// started immediately).  Shed transfers report their full wait here.
+  SimTime QueueSeconds = 0.0;
   /// Protocol startup (control dialogue, auth, negotiation), seconds.
   SimTime StartupSeconds = 0.0;
   /// Data movement portion, seconds.
@@ -192,14 +254,28 @@ public:
   /// active.
   bool cancel(TransferId Id);
 
-  /// \returns the number of in-flight transfers (startup or data phase).
-  size_t activeTransfers() const { return ActiveList.size(); }
+  /// \returns the number of in-flight transfers (startup or data phase),
+  /// not counting transfers waiting in an admission queue.
+  size_t activeTransfers() const { return ActiveList.size() - QueuedNow; }
+
+  /// \returns transfers currently waiting in admission queues.
+  size_t queuedTransfers() const { return QueuedNow; }
 
   /// \returns how many transfers this manager has completed successfully.
   uint64_t completedTransfers() const { return Completed; }
 
   /// \returns how many transfers were reported Failed.
   uint64_t failedTransfers() const { return Failed; }
+
+  /// \returns how many transfers admission control shed.
+  uint64_t totalShed() const { return TotalShed; }
+
+  /// \returns how many transfers missed their deadline.
+  uint64_t totalDeadlineExpired() const { return TotalDeadlineExpired; }
+
+  /// \returns how many transfers ever waited in an admission queue
+  /// (including ones later shed or displaced).
+  uint64_t totalQueued() const { return TotalQueued; }
 
   /// \returns data-connection failures survived across all transfers
   /// (injected, stall-detected, or fault-driven).
@@ -218,6 +294,12 @@ public:
     armWatchdog();
   }
   const RetryPolicy &retryPolicy() const { return Policy; }
+
+  /// Per-destination admission control.  Must be set before any transfer
+  /// is submitted — the per-destination active counts are only maintained
+  /// while a policy is in force.
+  void setAdmissionPolicy(const AdmissionPolicy &A);
+  const AdmissionPolicy &admissionPolicy() const { return Admission; }
 
   /// The kernel this manager schedules on (recovery layers need delays).
   Simulator &sim() { return Sim; }
@@ -249,10 +331,30 @@ private:
     std::vector<Stripe> StripesLive;
     size_t StripesRemaining = 0;
     double PayloadPerWire = 1.0; // Payload bytes per wire byte (MODE E < 1).
+    bool Queued = false;         // Waiting in an admission queue.
+    EventId DeadlineEvent = InvalidEventId;
+  };
+
+  /// Per-destination admission state.  Keyed by host pointer and only
+  /// ever looked up (never iterated), so the unordered map cannot leak
+  /// nondeterminism into the simulation.
+  struct DestState {
+    unsigned Active = 0;              // In startup or data phase.
+    std::vector<TransferId> Pending;  // FIFO admission queue.
   };
 
   ActiveTransfer *findTransfer(TransferId Id);
   void releaseTransfer(TransferId Id);
+  /// Schedules the protocol startup for an admitted transfer.
+  void startTransfer(TransferId Id);
+  /// Queues a transfer whose destination is at its admission limit,
+  /// shedding per AdmissionPolicy when the queue is full.
+  void enqueueTransfer(TransferId Id, DestState &D);
+  /// Sheds a queued (or just-submitted) transfer: the completion callback
+  /// fires on a zero-delay event with Status == Shed.
+  void shedTransfer(TransferId Id, const char *Reason);
+  /// Deadline event: aborts the transfer with Status == DeadlineExpired.
+  void onDeadline(TransferId Id);
   void beginData(TransferId Id);
   void startStripeFlow(TransferId Id, size_t StripeIdx, Bytes Volume);
   void onStripeDone(TransferId Id, size_t StripeIdx);
@@ -263,8 +365,11 @@ private:
   /// Reconnect attempt: restarts the stripe flow, or burns another attempt
   /// when the endpoints are still unreachable.
   void retryStripe(TransferId Id, size_t StripeIdx);
-  /// Gives up: releases everything and fires the callback with Failed.
-  void failTransfer(TransferId Id, const char *Reason);
+  /// Gives up: releases everything and fires the callback with \p St
+  /// (Failed, or DeadlineExpired for deadline aborts).  Works on queued
+  /// transfers too — they simply have no flows to tear down.
+  void failTransfer(TransferId Id, const char *Reason,
+                    TransferStatus St = TransferStatus::Failed);
   void refreshCaps();
   /// Keeps a non-daemon heartbeat pending while transfers are in flight
   /// and the stall watchdog is on.  The cap-refresh periodic is a daemon
@@ -286,6 +391,7 @@ private:
   FlowNetwork &Net;
   ProtocolCosts Costs;
   RetryPolicy Policy;
+  AdmissionPolicy Admission;
   TraceLog *Trace = nullptr;
   /// In-flight transfers live in a recycled slot pool; the per-second
   /// refresh and the reader/writer counts iterate ActiveList, which is
@@ -296,9 +402,14 @@ private:
   std::vector<uint32_t> FreeSlots;
   std::unordered_map<TransferId, uint32_t> IdToSlot;
   std::vector<std::pair<TransferId, uint32_t>> ActiveList;
+  std::unordered_map<const Host *, DestState> Destinations;
   TransferId NextId = 1;
+  size_t QueuedNow = 0;
   uint64_t Completed = 0;
   uint64_t Failed = 0;
+  uint64_t TotalShed = 0;
+  uint64_t TotalDeadlineExpired = 0;
+  uint64_t TotalQueued = 0;
   uint64_t TotalRestarts = 0;
   uint64_t TotalTimeouts = 0;
   EventId RefreshHandle = InvalidEventId;

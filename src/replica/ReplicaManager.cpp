@@ -6,7 +6,10 @@
 
 #include "replica/ReplicaManager.h"
 
+#include "replica/HealthTracker.h"
+
 #include <cassert>
+#include <cmath>
 
 using namespace dgsim;
 
@@ -59,6 +62,9 @@ struct ReplicaManager::FetchState {
   FetchOptions Options;
   FetchFn Done;
   FetchResult Res;
+  /// Absolute deadline derived from Options.DeadlineSeconds at fetch time;
+  /// every attempt carries it, so failovers share one clock.
+  SimTime AbsDeadline = std::numeric_limits<double>::infinity();
   /// Sources already tried this fetch; select() never returns them again.
   std::vector<const Host *> Tried;
 };
@@ -73,6 +79,8 @@ TransferId ReplicaManager::fetch(const std::string &Lfn, Host &Target,
   St->Res.Lfn = Lfn;
   St->Res.FileBytes = Catalog.fileSize(Lfn);
   St->Res.StartTime = Transfers.sim().now();
+  if (std::isfinite(Options.DeadlineSeconds))
+    St->AbsDeadline = St->Res.StartTime + Options.DeadlineSeconds;
 
   // Fig 1, step 1: a usable local copy needs no transfer at all.
   Host *Local = Catalog.replicaAt(Lfn, Target.node());
@@ -110,6 +118,8 @@ void ReplicaManager::startFetchAttempt(std::shared_ptr<FetchState> St) {
   Spec.FileBytes = St->Res.FileBytes;
   Spec.Protocol = St->Options.Protocol;
   Spec.Streams = St->Options.Streams;
+  Spec.Priority = St->Options.Priority;
+  Spec.Deadline = St->AbsDeadline;
   // GridFTP resumes across failover via partial file transfer: the
   // destination keeps what earlier sources delivered, so the next source
   // only serves the tail.  Plain FTP has no REST: it starts over and the
@@ -126,15 +136,47 @@ void ReplicaManager::startFetchAttempt(std::shared_ptr<FetchState> St) {
     St->Res.DeliveredBytes = 0.0;
   }
 
-  Transfers.submit(Spec, [this, St](const TransferResult &R) {
+  Transfers.submit(Spec, [this, St,
+                          Src = Sel.Chosen](const TransferResult &R) {
     St->Res.Restarts += R.Restarts;
     St->Res.Timeouts += R.Timeouts;
     St->Res.DeliveredBytes += R.DeliveredBytes;
     St->Res.ResentBytes += R.ResentBytes;
+    St->Res.QueueSeconds += R.QueueSeconds;
+    // Close the health loop: the selector's tracker (when attached) sees
+    // every attempt's outcome against the source that served it.  A shed
+    // attempt never reached the source — release its probe slot without
+    // recording a sample either way.
+    if (HealthTracker *Health = Selector.healthTracker()) {
+      switch (R.Status) {
+      case TransferStatus::Completed:
+        Health->recordSuccess(*Src, R.DeliveredBytes, R.DataSeconds);
+        break;
+      case TransferStatus::Failed:
+      case TransferStatus::DeadlineExpired:
+        Health->recordFailure(*Src);
+        break;
+      case TransferStatus::Shed:
+        Health->noteAbandoned(*Src);
+        break;
+      }
+    }
     if (R.succeeded()) {
       if (St->Options.Register)
         Catalog.addReplica(St->Res.Lfn, *St->Target);
       finishFetch(St, /*Succeeded=*/true);
+      return;
+    }
+    if (R.Status == TransferStatus::Shed) {
+      // Our own destination refused the work; another source changes
+      // nothing.  The attempt never moved a byte.
+      St->Res.Shed = true;
+      finishFetch(St, /*Succeeded=*/false);
+      return;
+    }
+    if (R.Status == TransferStatus::DeadlineExpired) {
+      St->Res.DeadlineExpired = true;
+      finishFetch(St, /*Succeeded=*/false);
       return;
     }
     if (St->Res.Failovers >= St->Options.MaxFailovers) {

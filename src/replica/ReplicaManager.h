@@ -22,6 +22,14 @@
 /// destination already holds, so delivered bytes are never moved twice
 /// even across a failover; plain FTP starts over.
 ///
+/// When the selector carries a HealthTracker, every attempt's outcome is
+/// fed back to it (success with observed throughput, failure, timeout),
+/// so failover re-selection respects Open breakers and demotes flapping
+/// sites — the "health-aware replica selection" loop.  Shed and
+/// deadline-expired attempts end the fetch without failover: shedding
+/// means the *destination* is overloaded, and a missed deadline makes
+/// further attempts pointless.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DGSIM_REPLICA_REPLICAMANAGER_H
@@ -48,6 +56,14 @@ struct FetchOptions {
   unsigned MaxFailovers = 8;
   /// Register the destination as a new replica holder on success.
   bool Register = true;
+  /// Admission-control priority forwarded to every attempt's
+  /// TransferSpec (see ShedPolicy::ShedLowestPriority).
+  int Priority = 0;
+  /// Per-fetch deadline, seconds from the fetch() call.  The whole fetch
+  /// — queue wait, failovers and all — must finish by then; an attempt
+  /// aborted at the deadline ends the fetch (DeadlineExpired), it does
+  /// not fail over.  +inf (the default) disables the deadline.
+  SimTime DeadlineSeconds = std::numeric_limits<double>::infinity();
 };
 
 /// Outcome of a fetch(), aggregated across every attempt.
@@ -72,6 +88,14 @@ struct FetchResult {
   Bytes DeliveredBytes = 0.0;
   /// Payload bytes moved more than once (FTP restarts / failover re-sends).
   Bytes ResentBytes = 0.0;
+  /// The final attempt was shed by destination admission control (the
+  /// fetch ends immediately: the congestion is on our own doorstep, so
+  /// failing over to another source cannot help).
+  bool Shed = false;
+  /// The fetch missed its FetchOptions::DeadlineSeconds.
+  bool DeadlineExpired = false;
+  /// Admission-queue wait, summed over attempts.
+  SimTime QueueSeconds = 0.0;
   SimTime StartTime = 0.0;
   SimTime EndTime = 0.0;
 };

@@ -6,6 +6,8 @@
 
 #include "replica/ReplicaSelector.h"
 
+#include "replica/HealthTracker.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -17,6 +19,11 @@ ReplicaSelector::ReplicaSelector(ReplicaCatalog &Catalog,
                                  CostWeights ReportWeights)
     : Catalog(Catalog), Info(Info), Policy(Policy),
       ReportModel(ReportWeights) {}
+
+void ReplicaSelector::setHealthTracker(HealthTracker *T) {
+  Health = T;
+  Policy.setHealthTracker(T);
+}
 
 SelectionResult
 ReplicaSelector::select(NodeId ClientNode, const std::string &Lfn,
@@ -59,8 +66,35 @@ ReplicaSelector::select(NodeId ClientNode, const std::string &Lfn,
                         std::to_string(Holders) + " holder(s)");
     return R; // Chosen stays null.
   }
+  // Breaker gate: holders resting behind an Open breaker (or half-open
+  // with the probe taken) are removed — unless that would leave nothing,
+  // in which case an unhealthy replica still beats no replica and the
+  // policy sees every live holder (health-demoted in its scoring).
+  if (Health) {
+    std::vector<Host *> Admitted;
+    for (Host *H : Candidates)
+      if (Health->allows(*H))
+        Admitted.push_back(H);
+    if (!Admitted.empty()) {
+      if (Trace && Admitted.size() != Candidates.size())
+        Trace->record(Info.now(), TraceCategory::Selection,
+                      Lfn + ": breaker gate removed " +
+                          std::to_string(Candidates.size() -
+                                         Admitted.size()) +
+                          " of " + std::to_string(Candidates.size()) +
+                          " candidate(s)");
+      Candidates = std::move(Admitted);
+    } else if (Trace) {
+      Trace->record(Info.now(), TraceCategory::Selection,
+                    Lfn + ": every breaker open; falling back to all " +
+                        std::to_string(Candidates.size()) +
+                        " live holder(s)");
+    }
+  }
   R.Chosen = Policy.choose(ClientNode, Candidates, Info);
   assert(R.Chosen && "policy returned no choice");
+  if (Health)
+    Health->noteDispatch(*R.Chosen);
   if (Trace)
     Trace->record(Info.now(), TraceCategory::Selection,
                   Lfn + ": " + Policy.name() + " chose " +

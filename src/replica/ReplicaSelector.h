@@ -70,6 +70,13 @@ public:
   /// in \p Exclude are skipped; when nothing survives the filter, the
   /// result carries a null Chosen.  Failover re-selection passes the
   /// sources it already tried via \p Exclude.
+  ///
+  /// With a HealthTracker attached, holders whose circuit breaker is
+  /// Open (or HalfOpen with the probe slot taken) are filtered out as
+  /// well — unless that would empty the candidate list, in which case
+  /// the gate falls back to every live holder: an unhealthy replica
+  /// still beats no replica.  The chosen holder is reported to the
+  /// tracker via noteDispatch (taking the probe slot when half-open).
   SelectionResult select(NodeId ClientNode, const std::string &Lfn,
                          const std::vector<const Host *> &Exclude = {});
 
@@ -83,12 +90,18 @@ public:
   /// Attaches a trace log (TraceCategory::Selection events).
   void setTrace(TraceLog *Log) { Trace = Log; }
 
+  /// Attaches a site-health tracker: breaker-gated candidate filtering
+  /// here, health-blended scoring in the policy.  Pass nullptr to detach.
+  void setHealthTracker(HealthTracker *T);
+  HealthTracker *healthTracker() { return Health; }
+
 private:
   ReplicaCatalog &Catalog;
   InformationService &Info;
   SelectionPolicy &Policy;
   CostModel ReportModel;
   TraceLog *Trace = nullptr;
+  HealthTracker *Health = nullptr;
 };
 
 } // namespace dgsim

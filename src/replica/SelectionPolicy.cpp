@@ -6,10 +6,16 @@
 
 #include "replica/SelectionPolicy.h"
 
+#include "replica/HealthTracker.h"
+
 #include <cassert>
 #include <cstdio>
 
 using namespace dgsim;
+
+double SelectionPolicy::healthFactor(const Host &H) const {
+  return Health ? Health->healthScore(H) : 1.0;
+}
 
 RandomPolicy::RandomPolicy(RandomEngine Rng) : Name("random"), Rng(Rng) {}
 
@@ -43,8 +49,9 @@ Host *BandwidthOnlyPolicy::choose(NodeId Client,
   double BestBw = -1.0;
   for (Host *H : Candidates) {
     SystemFactors F = Info.query(Client, *H);
-    if (F.PredictedBandwidth > BestBw) {
-      BestBw = F.PredictedBandwidth;
+    double Bw = F.PredictedBandwidth * healthFactor(*H);
+    if (Bw > BestBw) {
+      BestBw = Bw;
       Best = H;
     }
   }
@@ -84,7 +91,10 @@ Host *CostModelPolicy::choose(NodeId Client,
   Host *Best = nullptr;
   double BestScore = -1.0;
   for (Host *H : Candidates) {
-    double Score = Model.score(Info.query(Client, *H));
+    // The paper's Eq. 1 score, demoted by the observed health of the
+    // site: a holder that times out or crawls under load ranks below a
+    // slightly-worse-on-paper holder that actually delivers.
+    double Score = Model.score(Info.query(Client, *H)) * healthFactor(*H);
     if (Score > BestScore) {
       BestScore = Score;
       Best = H;

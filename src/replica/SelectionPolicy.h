@@ -30,6 +30,8 @@
 
 namespace dgsim {
 
+class HealthTracker;
+
 /// Strategy interface: pick one of the candidate replica holders for a
 /// client at \p Client.  Candidates is never empty.
 class SelectionPolicy {
@@ -42,6 +44,19 @@ public:
   /// Chooses a replica holder.  May query \p Info for measurements.
   virtual Host *choose(NodeId Client, const std::vector<Host *> &Candidates,
                        InformationService &Info) = 0;
+
+  /// Attaches a site-health tracker.  Measurement-driven policies blend
+  /// HealthTracker::healthScore into their ranking so degraded sites are
+  /// demoted; the no-information baselines (random, round-robin) ignore
+  /// it.  Pass nullptr to detach.
+  void setHealthTracker(HealthTracker *T) { Health = T; }
+
+protected:
+  /// \returns the multiplicative health factor for \p H: the tracker's
+  /// score, or 1.0 when no tracker is attached.
+  double healthFactor(const Host &H) const;
+
+  HealthTracker *Health = nullptr;
 };
 
 /// Uniformly random choice.

@@ -25,6 +25,8 @@ const char *dgsim::traceCategoryName(TraceCategory C) {
     return "monitor";
   case TraceCategory::Fault:
     return "fault";
+  case TraceCategory::Health:
+    return "health";
   }
   assert(false && "unknown trace category");
   return "?";

@@ -34,10 +34,13 @@ enum class TraceCategory : unsigned {
   /// Fault-injection activity: outages beginning/ending, crash/reboot,
   /// blackout windows (src/fault/FaultInjector).
   Fault,
+  /// Site-health activity: circuit-breaker state transitions, probe
+  /// dispatch, EWMA trips (src/replica/HealthTracker).
+  Health,
 };
 
 /// Number of categories (for iteration).
-inline constexpr unsigned NumTraceCategories = 6;
+inline constexpr unsigned NumTraceCategories = 7;
 
 /// \returns a short printable category name ("transfer", ...).
 const char *traceCategoryName(TraceCategory C);

@@ -135,3 +135,153 @@ TEST(GridSpec, FindHostAndSiteIndexes) {
   EXPECT_EQ(G->findHost("nope"), nullptr);
   EXPECT_EQ(G->findSite("nope"), nullptr);
 }
+
+//===----------------------------------------------------------------------===//
+// Build-time validation: every malformed shape is rejected with a message
+// that names the offending element, and a well-formed spec validates clean.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// True when some validation message contains \p Needle.
+bool flags(const GridSpec &S, const std::string &Needle) {
+  for (const std::string &Msg : S.validate())
+    if (Msg.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+/// A well-formed baseline the malformed cases each perturb.
+GridSpec validSpec() { return buildImperative(7)->spec(); }
+
+} // namespace
+
+TEST(GridSpecValidate, WellFormedSpecIsClean) {
+  EXPECT_TRUE(validSpec().validate().empty());
+  PaperTestbedOptions O;
+  EXPECT_TRUE(PaperTestbed::spec(O).validate().empty());
+}
+
+TEST(GridSpecValidate, DuplicateSiteName) {
+  GridSpec S = validSpec();
+  S.Sites.push_back(S.Sites[0]);
+  EXPECT_TRUE(flags(S, "duplicate site name 'left'"));
+}
+
+TEST(GridSpecValidate, DuplicateHostNameAcrossSites) {
+  GridSpec S = validSpec();
+  S.Sites[1].Hosts[0].Name = "left0";
+  EXPECT_TRUE(flags(S, "duplicate host name 'left0'"));
+}
+
+TEST(GridSpecValidate, SiteWithoutHosts) {
+  GridSpec S = validSpec();
+  S.Sites[0].Hosts.clear();
+  EXPECT_TRUE(flags(S, "site 'left' has no hosts"));
+}
+
+TEST(GridSpecValidate, NonPositiveDeviceRate) {
+  GridSpec S = validSpec();
+  S.Sites[0].Hosts[0].NicRate = 0.0;
+  EXPECT_TRUE(flags(S, "host 'left0' has a non-positive device rate"));
+}
+
+TEST(GridSpecValidate, LinkToUnknownEndpoint) {
+  GridSpec S = validSpec();
+  S.Links[0].B = "nowhere";
+  EXPECT_TRUE(
+      flags(S, "link endpoint 'nowhere' names no declared site or backbone"));
+}
+
+TEST(GridSpecValidate, LinkLossOutOfRange) {
+  GridSpec S = validSpec();
+  S.Links[0].Loss = 1.0;
+  EXPECT_TRUE(flags(S, "has loss outside [0, 1)"));
+}
+
+TEST(GridSpecValidate, CrossTrafficToUnknownSite) {
+  GridSpec S = validSpec();
+  S.Traffic[0].ToSite = "mars";
+  EXPECT_TRUE(flags(S, "cross-traffic endpoint 'mars' names no site"));
+}
+
+TEST(GridSpecValidate, CatalogFileShapes) {
+  GridSpec S = validSpec();
+  S.Files[0].SizeBytes = 0.0;
+  EXPECT_TRUE(flags(S, "catalog file 'file-x' has non-positive size"));
+  S = validSpec();
+  S.Files[0].ReplicaHosts = {"ghost"};
+  EXPECT_TRUE(flags(
+      S, "replica host 'ghost' of file 'file-x' names no declared host"));
+}
+
+TEST(GridSpecValidate, WorkloadShapes) {
+  WorkloadSpec W;
+  W.Name = "load";
+  W.Clients = {"left0"};
+  W.Lfns = {"file-x"};
+
+  GridSpec S = validSpec();
+  S.Workloads.push_back(W);
+  EXPECT_TRUE(S.validate().empty()) << "baseline workload must be clean";
+
+  S.Workloads[0].ArrivalsPerSecond = 0.0;
+  EXPECT_TRUE(flags(S, "workload 'load' has non-positive arrival rate"));
+
+  S = validSpec();
+  W.Clients = {"ghost"};
+  S.Workloads.push_back(W);
+  EXPECT_TRUE(
+      flags(S, "workload 'load' client 'ghost' names no declared host"));
+
+  S = validSpec();
+  W.Clients = {"left0"};
+  W.Lfns = {"no-such-file"};
+  S.Workloads.push_back(W);
+  EXPECT_TRUE(flags(
+      S, "workload 'load' file 'no-such-file' names no catalog file"));
+}
+
+TEST(GridSpecValidate, FaultWindowEndBeforeStart) {
+  // The fluent builder asserts on this shape; a hand-assembled or
+  // deserialized plan can still carry it, and validate() must catch it.
+  GridSpec S = validSpec();
+  FaultWindow W;
+  W.Kind = FaultKind::HostCrash;
+  W.Target = "left0";
+  W.Start = 10.0;
+  W.Duration = 0.0;
+  S.Faults.Windows.push_back(W);
+  EXPECT_TRUE(flags(S, "has end <= start"));
+}
+
+TEST(GridSpecValidate, FaultTargetsMustResolve) {
+  GridSpec S = validSpec();
+  S.Faults.hostCrash("ghost", 10.0, 5.0);
+  EXPECT_TRUE(flags(S, "target 'ghost' names no declared host"));
+  S = validSpec();
+  S.Faults.linkDown("left", "nowhere", 10.0, 5.0);
+  EXPECT_TRUE(
+      flags(S, "link endpoint 'nowhere' names no declared site or backbone"));
+}
+
+TEST(GridSpecValidate, MtbfProcessShapes) {
+  // Hand-assembled processes bypass the builder's assertions; validate()
+  // still has to name the bad parameter.
+  MtbfProcess P;
+  P.Kind = FaultKind::HostCrash;
+  P.Target = "left0";
+  P.Mttr = 5.0;
+  P.Horizon = 100.0;
+
+  GridSpec S = validSpec();
+  P.Mtbf = 0.0;
+  S.Faults.Processes.push_back(P);
+  EXPECT_TRUE(flags(S, "has non-positive MTBF"));
+
+  S = validSpec();
+  P.Mtbf = 60.0;
+  P.Mttr = 0.0;
+  S.Faults.Processes.push_back(P);
+  EXPECT_TRUE(flags(S, "has non-positive MTTR"));
+}
