@@ -17,6 +17,7 @@
 #define DGSIM_BENCH_BENCHUTIL_H
 
 #include "grid/Testbed.h"
+#include "support/Resource.h"
 #include "support/Table.h"
 #include "support/Units.h"
 
@@ -58,6 +59,17 @@ inline TransferResult runSingleTransfer(const PaperTestbedOptions &Options,
 inline void banner(const char *Title, const char *PaperArtifact) {
   std::printf("== %s ==\n", Title);
   std::printf("reproduces: %s\n\n", PaperArtifact);
+}
+
+/// Prints the host-side throughput/memory footer the scale benches share:
+/// kernel events and events/s, plus peak RSS (also written to BENCH_*.json
+/// by the exp layer).  Wall-clock derived, so keep it out of golden-pinned
+/// stdout.
+inline void printRunFooter(uint64_t Events, double WallSeconds) {
+  std::printf("\nhost: %llu events in %.2f s (%.0f events/s), peak RSS %.1f MB\n",
+              static_cast<unsigned long long>(Events), WallSeconds,
+              WallSeconds > 0.0 ? double(Events) / WallSeconds : 0.0,
+              double(peakRssBytes()) / (1024.0 * 1024.0));
 }
 
 /// One failed shape check, kept structured so the exit path can say what

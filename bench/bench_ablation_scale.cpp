@@ -27,6 +27,7 @@
 #include "grid/DataGrid.h"
 #include "replica/ReplicaSelector.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 
@@ -111,6 +112,7 @@ exp::TrialResult runScale(size_t NumSites, const std::string &Which,
   exp::TrialResult Result;
   Result.set("mean_fetch_s", TotalSeconds / Trials);
   Result.SpecHash = G.spec().hash();
+  Result.EventsExecuted = G.sim().eventsExecuted();
   return Result;
 }
 
@@ -136,7 +138,11 @@ int main(int argc, char **argv) {
     return runScale(std::strtoull(P.param("sites").c_str(), nullptr, 10),
                     P.param("policy"), P.Seed);
   };
+  auto T0 = std::chrono::steady_clock::now();
   std::vector<exp::TrialRecord> Records = exp::runScenario(S, Opt);
+  double SweepWall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
 
   Table T;
   T.setHeader({"sites", "cost-model (s)", "random (s)", "speedup"});
@@ -176,5 +182,9 @@ int main(int argc, char **argv) {
                       "the advantage persists as the grid grows (more "
                       "heterogeneity to exploit)");
   }
+  uint64_t Events = 0;
+  for (const exp::TrialRecord &R : Records)
+    Events += R.Result.EventsExecuted;
+  bench::printRunFooter(Events, SweepWall);
   return bench::exitCode();
 }

@@ -6,6 +6,7 @@
 
 #include "exp/MetricSink.h"
 
+#include "support/Resource.h"
 #include "support/Table.h"
 
 #include <cassert>
@@ -118,6 +119,8 @@ void JsonSink::trial(const TrialRecord &Record) {
                   static_cast<unsigned long long>(Record.Result.SpecHash));
     W.member("spec_hash", Buf);
   }
+  if (Record.Result.EventsExecuted != 0)
+    W.member("events", Record.Result.EventsExecuted);
   W.key("metrics");
   W.beginObject();
   for (const auto &[Name, Value] : Record.Result.Metrics)
@@ -130,8 +133,12 @@ void JsonSink::trial(const TrialRecord &Record) {
 
 void JsonSink::end(double TotalWallSeconds) {
   W.endArray();
-  if (IncludeTimings)
+  if (IncludeTimings) {
     W.member("wall_s", TotalWallSeconds);
+    // Peak RSS varies run to run (allocator, ASLR, jobs), so it rides with
+    // the other host-side provenance the determinism suite strips.
+    W.member("peak_rss_bytes", peakRssBytes());
+  }
   W.endObject();
   Doc = W.take();
   if (Capture)

@@ -57,6 +57,11 @@ struct TrialResult {
   std::vector<std::pair<std::string, double>> Metrics;
   /// Hash of the GridSpec the trial ran on (0 when not applicable).
   uint64_t SpecHash = 0;
+  /// Kernel events the trial executed (Simulator::eventsExecuted(); 0 when
+  /// not recorded).  Deterministic — same seed, same count — so the JSON
+  /// sink emits it unconditionally, and throughput readers can divide by
+  /// wall time without re-running the trial.
+  uint64_t EventsExecuted = 0;
 
   void set(const std::string &Name, double Value);
   /// \returns the metric named \p Name (asserts it exists).

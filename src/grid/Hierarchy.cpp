@@ -1,0 +1,202 @@
+//===- grid/Hierarchy.cpp --------------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "grid/Hierarchy.h"
+
+#include "support/Random.h"
+
+#include <cassert>
+
+using namespace dgsim;
+
+static std::string quoted(const std::string &S) { return "'" + S + "'"; }
+
+static void checkLinkClass(std::vector<std::string> &Errors,
+                           const std::string &What, const LinkClassSpec &C) {
+  if (C.Capacity <= 0.0)
+    Errors.push_back("hierarchy " + What + " has non-positive capacity");
+  if (C.Delay <= 0.0)
+    Errors.push_back("hierarchy " + What + " has non-positive delay");
+  if (C.Loss < 0.0 || C.Loss >= 1.0)
+    Errors.push_back("hierarchy " + What + " has loss outside [0, 1)");
+  if (C.Weight < 0.0)
+    Errors.push_back("hierarchy " + What + " has negative weight");
+}
+
+std::vector<std::string> HierarchySpec::validate() const {
+  std::vector<std::string> Errors;
+  auto Err = [&Errors](std::string Msg) { Errors.push_back(std::move(Msg)); };
+
+  if (Prefix.empty())
+    Err("hierarchy has an empty prefix");
+  // Zero fan-out at any tier generates an empty (or host-less) grid.
+  if (Regions == 0)
+    Err("hierarchy has zero regions");
+  if (SitesPerRegion == 0)
+    Err("hierarchy has zero sites per region");
+  if (HostsPerSite == 0)
+    Err("hierarchy has zero hosts per site");
+  if (AggsPerRegion > 0) {
+    if (UplinksPerSite == 0)
+      Err("hierarchy fabric has zero uplinks per site");
+    if (UplinksPerSite > AggsPerRegion)
+      Err("hierarchy fabric wants " + std::to_string(UplinksPerSite) +
+          " uplinks per site but has only " + std::to_string(AggsPerRegion) +
+          " spines per region");
+  }
+
+  checkLinkClass(Errors, "root link", RootLink);
+  if (AggsPerRegion > 0)
+    checkLinkClass(Errors, "fabric link", FabricLink);
+  if (AccessClasses.empty())
+    Err("hierarchy has no access link classes");
+  double TotalWeight = 0.0;
+  for (size_t I = 0; I != AccessClasses.size(); ++I) {
+    checkLinkClass(Errors, "access class " + std::to_string(I),
+                   AccessClasses[I]);
+    TotalWeight += AccessClasses[I].Weight;
+  }
+  if (!AccessClasses.empty() && TotalWeight <= 0.0)
+    Err("hierarchy access classes have no positive weight");
+
+  if (LanCapacity <= 0.0)
+    Err("hierarchy has non-positive LAN capacity");
+  if (LanDelay <= 0.0)
+    Err("hierarchy has non-positive LAN delay");
+  if (DiskReadRate <= 0.0 || DiskWriteRate <= 0.0)
+    Err("hierarchy has non-positive disk rates");
+
+  if (CpuSpeedMin <= 0.0 || CpuSpeedMax < CpuSpeedMin)
+    Err("hierarchy has a bad CPU speed range");
+  if (CpuMeanLoadMin < 0.0 || CpuMeanLoadMax < CpuMeanLoadMin ||
+      CpuMeanLoadMax > 1.0)
+    Err("hierarchy has a bad CPU mean-load range");
+  if (IoMeanLoadMin < 0.0 || IoMeanLoadMax < IoMeanLoadMin ||
+      IoMeanLoadMax > 1.0)
+    Err("hierarchy has a bad I/O mean-load range");
+
+  if (FileCount > 0) {
+    if (FileSizeMin <= 0.0 || FileSizeMax < FileSizeMin)
+      Err("hierarchy has a bad file size range");
+    if (ReplicasPerFile == 0)
+      Err("hierarchy files have zero replicas");
+    uint64_t HostCount = uint64_t(Regions) * SitesPerRegion * HostsPerSite;
+    if (ReplicasPerFile > HostCount)
+      Err("hierarchy wants " + std::to_string(ReplicasPerFile) +
+          " replicas per file but generates only " +
+          std::to_string(HostCount) + " hosts");
+  }
+  return Errors;
+}
+
+std::vector<std::string> dgsim::appendHierarchy(GridSpec &Spec,
+                                                const HierarchySpec &H,
+                                                HierarchyLayout *Layout) {
+  std::vector<std::string> Errors = H.validate();
+  std::string Core = H.Prefix + "-core";
+  for (const std::string &B : Spec.Backbones)
+    if (B == Core)
+      Errors.push_back("hierarchy prefix " + quoted(H.Prefix) +
+                       " collides with backbone " + quoted(Core) +
+                       " already in the spec");
+  if (!Errors.empty())
+    return Errors;
+
+  // The forked-RNG discipline: one child per randomised aspect, forked in
+  // declaration order from a root private to the generator.  Draw order
+  // within each stream is fixed (sites then hosts then files, generation
+  // order), so the expansion is a pure function of the spec.
+  RandomEngine Root(H.Seed);
+  RandomEngine LinkRng = Root.fork(); // per-site access class
+  RandomEngine HostRng = Root.fork(); // per-host speed and load knobs
+  RandomEngine FileRng = Root.fork(); // per-file size and placement
+
+  std::vector<double> AccessWeights;
+  AccessWeights.reserve(H.AccessClasses.size());
+  for (const LinkClassSpec &C : H.AccessClasses)
+    AccessWeights.push_back(C.Weight);
+
+  auto addLink = [&Spec](const std::string &A, const std::string &B,
+                         const LinkClassSpec &C) {
+    LinkSpec L;
+    L.A = A;
+    L.B = B;
+    L.Capacity = C.Capacity;
+    L.Delay = C.Delay;
+    L.Loss = C.Loss;
+    Spec.Links.push_back(std::move(L));
+  };
+
+  HierarchyLayout Names;
+  Spec.Backbones.push_back(Core);
+  for (unsigned G = 0; G != H.Regions; ++G) {
+    std::string Region = H.Prefix + "-r" + std::to_string(G);
+    Spec.Backbones.push_back(Region);
+    addLink(Core, Region, H.RootLink);
+    for (unsigned J = 0; J != H.AggsPerRegion; ++J) {
+      std::string Agg = Region + "-a" + std::to_string(J);
+      Spec.Backbones.push_back(Agg);
+      addLink(Region, Agg, H.FabricLink);
+    }
+    for (unsigned I = 0; I != H.SitesPerRegion; ++I) {
+      SiteConfig Site;
+      Site.Name = Region + "-s" + std::to_string(I);
+      Site.LanCapacity = H.LanCapacity;
+      Site.LanDelay = H.LanDelay;
+      for (unsigned K = 0; K != H.HostsPerSite; ++K) {
+        SiteHostSpec Host;
+        Host.Name = Site.Name + "-h" + std::to_string(K);
+        Host.CpuSpeed = HostRng.uniform(H.CpuSpeedMin, H.CpuSpeedMax);
+        Host.CpuMeanLoad = HostRng.uniform(H.CpuMeanLoadMin, H.CpuMeanLoadMax);
+        Host.IoMeanLoad = HostRng.uniform(H.IoMeanLoadMin, H.IoMeanLoadMax);
+        Host.DiskReadRate = H.DiskReadRate;
+        Host.DiskWriteRate = H.DiskWriteRate;
+        Names.Hosts.push_back(Host.Name);
+        Site.Hosts.push_back(std::move(Host));
+      }
+      const LinkClassSpec &Access =
+          H.AccessClasses[LinkRng.weightedIndex(AccessWeights)];
+      if (H.AggsPerRegion == 0) {
+        // Direct attach: the hierarchy stays a tree and the router's LCA
+        // fast path serves every route.
+        addLink(Site.Name, Region, Access);
+      } else {
+        // Leaf-spine fabric: uplinks spread round-robin from the site's
+        // index, all of the site's drawn access class.
+        for (unsigned U = 0; U != H.UplinksPerSite; ++U) {
+          unsigned J = (I + U) % H.AggsPerRegion;
+          addLink(Site.Name, Region + "-a" + std::to_string(J), Access);
+        }
+      }
+      Names.Sites.push_back(Site.Name);
+      Spec.Sites.push_back(std::move(Site));
+    }
+  }
+
+  for (unsigned N = 0; N != H.FileCount; ++N) {
+    CatalogFileSpec File;
+    File.Lfn = H.Prefix + "-f" + std::to_string(N);
+    File.SizeBytes = FileRng.uniform(H.FileSizeMin, H.FileSizeMax);
+    // Distinct holders via rejection; validate() guarantees enough hosts.
+    std::vector<uint32_t> Holders;
+    while (Holders.size() < H.ReplicasPerFile) {
+      uint32_t P = uint32_t(FileRng.uniformInt(Names.Hosts.size()));
+      bool Dup = false;
+      for (uint32_t Existing : Holders)
+        Dup = Dup || Existing == P;
+      if (!Dup)
+        Holders.push_back(P);
+    }
+    for (uint32_t P : Holders)
+      File.ReplicaHosts.push_back(Names.Hosts[P]);
+    Names.Lfns.push_back(File.Lfn);
+    Spec.Files.push_back(std::move(File));
+  }
+
+  if (Layout)
+    *Layout = std::move(Names);
+  return Errors;
+}

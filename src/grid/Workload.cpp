@@ -64,14 +64,27 @@ void WorkloadDriver::start(size_t Index, const FetchOptions &FetchOpts) {
   // vector, and the arrival closures outlive this call by the whole run.
   auto W = std::make_shared<const WorkloadSpec>(
       Grid.spec().Workloads.at(Index));
-  Simulator &Sim = Grid.sim();
-  for (const WorkloadArrival &A : Grid.workloadArrivals(Index)) {
-    // Open loop: every arrival fires at its own time, whatever the state
-    // of earlier fetches.  Non-daemon, so run() drains the whole stream.
-    Sim.scheduleAt(A.Time, [this, W, A, FetchOpts] {
-      runArrival(*W, A, FetchOpts);
-    });
-  }
+  if (Grid.workloadArrivals(Index).empty())
+    return;
+  scheduleArrival(std::move(W), Index, 0, FetchOpts);
+}
+
+void WorkloadDriver::scheduleArrival(std::shared_ptr<const WorkloadSpec> W,
+                                     size_t Index, size_t Pos,
+                                     const FetchOptions &FetchOpts) {
+  // Open loop: every arrival fires at its own (pre-expanded) time, whatever
+  // the state of earlier fetches.  Arrivals chain — each one schedules the
+  // next before running its fetch — so the stream holds one pending event,
+  // not one per arrival.  Non-daemon, so run() drains the whole stream.
+  SimTime T = Grid.workloadArrivals(Index)[Pos].Time;
+  Grid.sim().scheduleAt(
+      T, [this, W = std::move(W), Index, Pos, FetchOpts]() mutable {
+        const std::vector<WorkloadArrival> &Arr = Grid.workloadArrivals(Index);
+        const WorkloadSpec &Spec = *W;
+        if (Pos + 1 < Arr.size())
+          scheduleArrival(std::move(W), Index, Pos + 1, FetchOpts);
+        runArrival(Spec, Arr[Pos], FetchOpts);
+      });
 }
 
 void WorkloadDriver::runArrival(const WorkloadSpec &W,
@@ -82,14 +95,15 @@ void WorkloadDriver::runArrival(const WorkloadSpec &W,
   const std::string &Lfn = W.Lfns[A.LfnIdx];
   ++Counters.Arrivals;
   Mgr.fetch(Lfn, *Client, FetchOpts, [this](const FetchResult &R) {
-    Counters.QueueWaitSeconds.push_back(R.QueueSeconds);
+    pushSample(Counters.QueueWaitSeconds, QueueStream, R.QueueSeconds);
     if (R.Succeeded) {
       ++Counters.Completed;
       if (R.LocalHit)
         ++Counters.LocalHits;
       Counters.GoodputBytes += R.FileBytes;
       Counters.WastedBytes += R.ResentBytes;
-      Counters.SojournSeconds.push_back(R.EndTime - R.StartTime);
+      pushSample(Counters.SojournSeconds, SojournStream,
+                 R.EndTime - R.StartTime);
     } else {
       if (R.Shed)
         ++Counters.Shed;
@@ -101,4 +115,26 @@ void WorkloadDriver::runArrival(const WorkloadSpec &W,
       Counters.WastedBytes += R.DeliveredBytes + R.ResentBytes;
     }
   });
+}
+
+void WorkloadDriver::pushSample(std::vector<double> &V, SampleStream &S,
+                                double X) {
+  if (SampleCap == 0) {
+    V.push_back(X);
+    return;
+  }
+  if (S.Seen++ % S.Stride != 0)
+    return;
+  if (V.size() >= SampleCap) {
+    // Full: halve the resolution.  Keeping the even positions preserves
+    // even spacing across everything seen so far.
+    size_t Half = V.size() / 2;
+    for (size_t I = 0; I != Half; ++I)
+      V[I] = V[2 * I];
+    V.resize(Half);
+    S.Stride *= 2;
+    // This sample's index may no longer sit on the widened stride; keep it
+    // anyway — one extra sample per halving is noise at these sizes.
+  }
+  V.push_back(X);
 }

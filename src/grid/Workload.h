@@ -32,6 +32,7 @@
 #include "support/Random.h"
 
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -109,21 +110,42 @@ public:
   /// outlive the driver.
   WorkloadDriver(DataGrid &Grid, ReplicaManager &Mgr);
 
-  /// Schedules every arrival of the grid's workload \p Index (order of
-  /// DataGrid::addWorkload calls) as non-daemon events, each running one
-  /// fetch with \p FetchOpts (per-request deadlines and priorities ride
-  /// in there).  Call once per workload, before sim().run().
+  /// Starts the grid's workload \p Index (order of DataGrid::addWorkload
+  /// calls): each arrival is a non-daemon event that runs one fetch with
+  /// \p FetchOpts (per-request deadlines and priorities ride in there) and
+  /// schedules its successor, so a million-arrival stream keeps exactly
+  /// one pending event instead of a million.  Call once per workload,
+  /// before sim().run().
   void start(size_t Index, const FetchOptions &FetchOpts = FetchOptions());
+
+  /// Caps the per-fetch sample vectors (QueueWaitSeconds/SojournSeconds)
+  /// at roughly \p Cap entries each: when a vector fills, the retention
+  /// stride doubles and every other kept sample is dropped, so the kept
+  /// samples stay evenly spaced over the whole run.  0 (the default)
+  /// keeps every sample.  Call before start().
+  void setSampleCap(size_t Cap) { SampleCap = Cap; }
 
   const WorkloadCounters &counters() const { return Counters; }
 
 private:
+  /// Decimation state for one bounded sample vector.
+  struct SampleStream {
+    uint64_t Seen = 0;
+    uint64_t Stride = 1;
+  };
+
+  void scheduleArrival(std::shared_ptr<const WorkloadSpec> W, size_t Index,
+                       size_t Pos, const FetchOptions &FetchOpts);
   void runArrival(const WorkloadSpec &W, const WorkloadArrival &A,
                   const FetchOptions &FetchOpts);
+  void pushSample(std::vector<double> &V, SampleStream &S, double X);
 
   DataGrid &Grid;
   ReplicaManager &Mgr;
   WorkloadCounters Counters;
+  size_t SampleCap = 0;
+  SampleStream QueueStream;
+  SampleStream SojournStream;
 };
 
 } // namespace dgsim

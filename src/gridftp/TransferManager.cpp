@@ -181,7 +181,8 @@ TransferId TransferManager::submit(const TransferSpec &Spec,
   NodeId ControlNode = Spec.ControlClient != InvalidNodeId
                            ? Spec.ControlClient
                            : Spec.Destination->node();
-  auto ControlPath = Net.routing().path(ControlNode, PrimarySource->node());
+  const NetPath *ControlPath =
+      Net.routing().pathRef(ControlNode, PrimarySource->node());
   assert(ControlPath && "control client cannot reach the source");
 
   double SlowerCpu = std::min(PrimarySource->config().CpuSpeed,
@@ -193,7 +194,8 @@ TransferId TransferManager::submit(const TransferSpec &Spec,
   // two legs overlap except for the final coordinated STOR/RETR exchange.
   if (Spec.ControlClient != InvalidNodeId &&
       Spec.ControlClient != Spec.Destination->node()) {
-    auto DstPath = Net.routing().path(ControlNode, Spec.Destination->node());
+    const NetPath *DstPath =
+        Net.routing().pathRef(ControlNode, Spec.Destination->node());
     assert(DstPath && "control client cannot reach the destination");
     Startup += DstPath->Rtt;
   }
@@ -379,8 +381,8 @@ void TransferManager::startStripeFlow(TransferId Id, size_t StripeIdx,
       failTransfer(Id, "endpoint unreachable");
       return;
     }
-    auto Path =
-        Net.routing().path(S.Source->node(), T.Spec.Destination->node());
+    const NetPath *Path =
+        Net.routing().pathRef(S.Source->node(), T.Spec.Destination->node());
     assert(Path && "transfer endpoints became disconnected");
     SimTime Delay = Net.tcp().connectTime(*Path) + Path->Rtt +
                     backoffSeconds(S.ConsecutiveFailures);
@@ -406,6 +408,7 @@ void TransferManager::startStripeFlow(TransferId Id, size_t StripeIdx,
       [this, Id, StripeIdx](const FlowStats &) {
         onStripeDone(Id, StripeIdx);
       });
+  noteStripeUp(*S.Source, *T.Spec.Destination);
 }
 
 void TransferManager::onStripeDone(TransferId Id, size_t StripeIdx) {
@@ -419,6 +422,7 @@ void TransferManager::onStripeDone(TransferId Id, size_t StripeIdx) {
   T.Spec.Destination->disk().removeTransferLoad(S.AccountedRate);
   S.AccountedRate = 0.0;
   S.Flow = InvalidFlowId;
+  noteStripeDown(*S.Source, *T.Spec.Destination);
   // The attempt's whole volume landed: it counts toward the file exactly
   // once, whatever protocol we ran.
   S.DeliveredWire += S.AttemptWire;
@@ -452,8 +456,10 @@ bool TransferManager::cancel(TransferId Id) {
     if (S.Flow == InvalidFlowId)
       continue;
     Net.cancelFlow(S.Flow);
+    S.Flow = InvalidFlowId;
     S.Source->disk().removeTransferLoad(S.AccountedRate);
     T.Spec.Destination->disk().removeTransferLoad(S.AccountedRate);
+    noteStripeDown(*S.Source, *T.Spec.Destination);
   }
   trace("#%llu cancelled", static_cast<unsigned long long>(Id));
   releaseTransfer(Id);
@@ -476,6 +482,7 @@ void TransferManager::failStripe(TransferId Id, size_t StripeIdx,
   S.Source->disk().removeTransferLoad(S.AccountedRate);
   T.Spec.Destination->disk().removeTransferLoad(S.AccountedRate);
   S.AccountedRate = 0.0;
+  noteStripeDown(*S.Source, *T.Spec.Destination);
   ++T.Result.Restarts;
   ++TotalRestarts;
   if (Timeout) {
@@ -520,8 +527,8 @@ void TransferManager::failStripe(TransferId Id, size_t StripeIdx,
   // Reconnect: a fresh data connection plus one control round trip to
   // re-issue RETR (with a REST marker when resumable), plus the backoff
   // this losing streak has earned.
-  auto Path =
-      Net.routing().path(S.Source->node(), T.Spec.Destination->node());
+  const NetPath *Path =
+      Net.routing().pathRef(S.Source->node(), T.Spec.Destination->node());
   assert(Path && "transfer endpoints became disconnected");
   SimTime Delay = Net.tcp().connectTime(*Path) + Path->Rtt +
                   backoffSeconds(S.ConsecutiveFailures);
@@ -550,6 +557,7 @@ void TransferManager::failTransfer(TransferId Id, const char *Reason,
     T.Spec.Destination->disk().removeTransferLoad(S.AccountedRate);
     S.Flow = InvalidFlowId;
     S.AccountedRate = 0.0;
+    noteStripeDown(*S.Source, *T.Spec.Destination);
   }
   TransferResult Result = T.Result;
   Result.Status = St;
@@ -624,26 +632,31 @@ BitRate TransferManager::endpointCap(const Host &Src, const Host &Dst,
 }
 
 unsigned TransferManager::activeReaders(const Host &H) const {
-  unsigned N = 0;
-  for (const auto &[Id, Slot] : ActiveList) {
-    const ActiveTransfer &T = Slots[Slot];
-    for (const Stripe &S : T.StripesLive)
-      if (S.Flow != InvalidFlowId && S.Source == &H)
-        ++N;
-  }
-  return N;
+  auto It = ReadersByHost.find(&H);
+  return It == ReadersByHost.end() ? 0 : It->second;
 }
 
 unsigned TransferManager::activeWriters(const Host &H) const {
-  unsigned N = 0;
-  for (const auto &[Id, Slot] : ActiveList) {
-    const ActiveTransfer &T = Slots[Slot];
-    if (T.Spec.Destination == &H)
-      for (const Stripe &S : T.StripesLive)
-        if (S.Flow != InvalidFlowId)
-          ++N;
-  }
-  return N;
+  auto It = WritersByHost.find(&H);
+  return It == WritersByHost.end() ? 0 : It->second;
+}
+
+void TransferManager::noteStripeUp(const Host &Src, const Host &Dst) {
+  ++ReadersByHost[&Src];
+  ++WritersByHost[&Dst];
+}
+
+void TransferManager::noteStripeDown(const Host &Src, const Host &Dst) {
+  auto R = ReadersByHost.find(&Src);
+  assert(R != ReadersByHost.end() && R->second > 0 &&
+         "reader count out of sync");
+  if (--R->second == 0)
+    ReadersByHost.erase(R);
+  auto W = WritersByHost.find(&Dst);
+  assert(W != WritersByHost.end() && W->second > 0 &&
+         "writer count out of sync");
+  if (--W->second == 0)
+    WritersByHost.erase(W);
 }
 
 void TransferManager::refreshCaps() {
@@ -672,11 +685,18 @@ void TransferManager::refreshCaps() {
         Stalled.emplace_back(Id, I);
         continue; // No point re-capping a flow about to be torn down.
       }
-      // Re-derive the endpoint cap from the hosts' current state.
-      Net.setEndpointCap(S.Flow, endpointCap(*S.Source, *T.Spec.Destination,
-                                             /*CountSelf=*/false));
+      // Re-derive the endpoint cap from the hosts' current state.  In
+      // batched mode the solve is deferred to one commit after the sweep.
+      BitRate Cap =
+          endpointCap(*S.Source, *T.Spec.Destination, /*CountSelf=*/false);
+      if (BatchedRefresh)
+        Net.updateEndpointCap(S.Flow, Cap);
+      else
+        Net.setEndpointCap(S.Flow, Cap);
     }
   }
+  if (BatchedRefresh)
+    Net.commitEndpointCaps();
   for (auto [Id, I] : Stalled)
     failStripe(Id, I, /*Timeout=*/true);
 }

@@ -295,6 +295,16 @@ public:
   }
   const RetryPolicy &retryPolicy() const { return Policy; }
 
+  /// Scale mode for the periodic cap refresh: update every stripe's
+  /// endpoint cap first and rebalance the network once, instead of
+  /// re-solving the coupled flow component after every changed stripe —
+  /// O(flows) per refresh instead of O(flows^2) when the grid couples
+  /// into one big component.  Rates sampled during the sweep are then
+  /// the pre-refresh rates (the unbatched sweep re-solves as it goes), a
+  /// bounded observable difference, so this is opt-in like
+  /// InformationServiceConfig::BatchSensors, not a default.
+  void setBatchedRefresh(bool Enabled) { BatchedRefresh = Enabled; }
+
   /// Per-destination admission control.  Must be set before any transfer
   /// is submitted — the per-destination active counts are only maintained
   /// while a policy is in force.
@@ -381,6 +391,13 @@ private:
                       bool CountSelf) const;
   unsigned activeReaders(const Host &H) const;
   unsigned activeWriters(const Host &H) const;
+  /// Bookkeeping at every stripe-flow transition: a stripe's source host
+  /// gains/loses a reader, the transfer's destination a writer.  Keeps
+  /// ReadersByHost/WritersByHost equal to what a scan over every live
+  /// stripe would count, so endpointCap() is O(1) and the periodic cap
+  /// refresh is O(flows) instead of O(flows^2).
+  void noteStripeUp(const Host &Src, const Host &Dst);
+  void noteStripeDown(const Host &Src, const Host &Dst);
   /// Backoff component of the reconnect delay for the given consecutive
   /// failure count.
   SimTime backoffSeconds(unsigned ConsecutiveFailures) const;
@@ -391,18 +408,25 @@ private:
   FlowNetwork &Net;
   ProtocolCosts Costs;
   RetryPolicy Policy;
+  bool BatchedRefresh = false;
   AdmissionPolicy Admission;
   TraceLog *Trace = nullptr;
   /// In-flight transfers live in a recycled slot pool; the per-second
-  /// refresh and the reader/writer counts iterate ActiveList, which is
-  /// kept sorted by id (ids are monotonic, so appends preserve order and
-  /// iteration matches the ordered map this replaced — same FP addition
-  /// order, same results).
+  /// refresh iterates ActiveList, which is kept sorted by id (ids are
+  /// monotonic, so appends preserve order and iteration matches the
+  /// ordered map this replaced — same FP addition order, same results).
   std::vector<ActiveTransfer> Slots;
   std::vector<uint32_t> FreeSlots;
   std::unordered_map<TransferId, uint32_t> IdToSlot;
   std::vector<std::pair<TransferId, uint32_t>> ActiveList;
   std::unordered_map<const Host *, DestState> Destinations;
+  /// Live-stripe endpoint counts (stripes whose Flow is live), maintained
+  /// by noteStripeUp/noteStripeDown.  Looked up, never iterated, so the
+  /// unordered layout cannot leak into results.  Entries are erased at
+  /// zero: lookups stay O(1) against the *current* working set, not every
+  /// host ever touched.
+  std::unordered_map<const Host *, unsigned> ReadersByHost;
+  std::unordered_map<const Host *, unsigned> WritersByHost;
   TransferId NextId = 1;
   size_t QueuedNow = 0;
   uint64_t Completed = 0;

@@ -18,6 +18,7 @@ CpuLoadModel::CpuLoadModel(Simulator &Sim, CpuLoadConfig Config)
   assert(Config.MeanLoad >= 0.0 && Config.MeanLoad <= 1.0 &&
          "mean load outside [0, 1]");
   assert(Config.UpdatePeriod > 0.0 && "non-positive update period");
+  SqrtDt = std::sqrt(Config.UpdatePeriod);
   TickHandle = Sim.schedulePeriodic(Config.UpdatePeriod, [this] { tick(); });
   if (Config.BurstMeanInterarrival > 0.0)
     scheduleBurst();
@@ -37,7 +38,7 @@ void CpuLoadModel::tick() {
   // Euler-Maruyama step of the OU SDE, clipped to the unit interval.
   double Dt = Config.UpdatePeriod;
   BaseLoad += Config.Reversion * (Config.MeanLoad - BaseLoad) * Dt +
-              Config.Volatility * std::sqrt(Dt) * Rng.normal(0.0, 1.0);
+              Config.Volatility * SqrtDt * Rng.normal(0.0, 1.0);
   BaseLoad = std::clamp(BaseLoad, 0.0, 1.0);
 }
 

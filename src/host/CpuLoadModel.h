@@ -67,6 +67,7 @@ private:
   CpuLoadConfig Config;
   RandomEngine Rng;
   double BaseLoad;      // OU component.
+  double SqrtDt = 0.0;  // sqrt(UpdatePeriod), hoisted out of tick().
   double ActiveBursts = 0.0;
   EventId TickHandle = InvalidEventId;
   EventId BurstArrival = InvalidEventId;

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <cstring>
 
 using namespace dgsim;
 
@@ -30,38 +31,66 @@ static std::string windowedName(const char *Prefix, size_t Window) {
 SlidingMeanForecaster::SlidingMeanForecaster(size_t Window)
     : Name(windowedName("sw_mean", Window)), Window(Window) {
   assert(Window > 0 && "window must be positive");
+  Ring.resize(Window);
 }
 
 void SlidingMeanForecaster::observe(double Value) {
-  Values.push_back(Value);
+  // Same arithmetic order as the original deque form (add, then subtract
+  // the expired value), so the running Sum stays bit-identical.
   Sum += Value;
-  if (Values.size() > Window) {
-    Sum -= Values.front();
-    Values.pop_front();
+  if (Count < Window) {
+    Ring[Count++] = Value;
+    return;
   }
+  Sum -= Ring[Head];
+  Ring[Head] = Value;
+  Head = Head + 1 == Window ? 0 : Head + 1;
 }
 
 double SlidingMeanForecaster::predict() const {
-  return Values.empty() ? 0.0 : Sum / static_cast<double>(Values.size());
+  return Count == 0 ? 0.0 : Sum / static_cast<double>(Count);
 }
 
 SlidingMedianForecaster::SlidingMedianForecaster(size_t Window)
     : Name(windowedName("sw_median", Window)), Window(Window) {
   assert(Window > 0 && "window must be positive");
+  Ring.resize(Window);
+  Sorted.reserve(Window);
 }
 
 void SlidingMedianForecaster::observe(double Value) {
-  Values.push_back(Value);
-  if (Values.size() > Window)
-    Values.pop_front();
+  if (Count < Window) {
+    Ring[Count++] = Value;
+    Sorted.insert(std::upper_bound(Sorted.begin(), Sorted.end(), Value),
+                  Value);
+    return;
+  }
+  // Steady state: replace the expired value with the new one by shifting
+  // only the elements between the two positions, one memmove instead of an
+  // erase plus an insert.
+  double Expired = Ring[Head];
+  Ring[Head] = Value;
+  Head = Head + 1 == Window ? 0 : Head + 1;
+  double *B = Sorted.data();
+  size_t N = Sorted.size();
+  size_t Out = std::lower_bound(B, B + N, Expired) - B;
+  assert(Out < N && B[Out] == Expired && "sorted window out of sync");
+  size_t In = std::upper_bound(B, B + N, Value) - B;
+  if (In > Out) {
+    // New value sorts after the expired one: close the gap leftwards.
+    std::memmove(B + Out, B + Out + 1, (In - 1 - Out) * sizeof(double));
+    B[In - 1] = Value;
+  } else {
+    // New value sorts before (or at) the expired slot: shift rightwards.
+    std::memmove(B + In + 1, B + In, (Out - In) * sizeof(double));
+    B[In] = Value;
+  }
 }
 
 double SlidingMedianForecaster::predict() const {
-  if (Values.empty())
+  size_t N = Count;
+  if (N == 0)
     return 0.0;
-  std::vector<double> Sorted(Values.begin(), Values.end());
-  std::sort(Sorted.begin(), Sorted.end());
-  size_t N = Sorted.size();
   if (N % 2 == 1)
     return Sorted[N / 2];
   return (Sorted[N / 2 - 1] + Sorted[N / 2]) / 2.0;
@@ -84,52 +113,73 @@ void ExponentialSmoothingForecaster::observe(double Value) {
   Smoothed = Alpha * Value + (1.0 - Alpha) * Smoothed;
 }
 
-NwsForecaster::NwsForecaster() : Name("nws_adaptive") {
-  auto Add = [this](std::unique_ptr<Forecaster> F) {
-    Members.push_back(Member{std::move(F), 0.0});
-  };
-  Add(std::make_unique<LastValueForecaster>());
-  Add(std::make_unique<RunningMeanForecaster>());
-  for (size_t W : {5u, 10u, 20u, 40u})
-    Add(std::make_unique<SlidingMeanForecaster>(W));
-  for (size_t W : {5u, 10u, 20u, 40u})
-    Add(std::make_unique<SlidingMedianForecaster>(W));
-  for (double A : {0.05, 0.25, 0.75})
-    Add(std::make_unique<ExponentialSmoothingForecaster>(A));
-}
+NwsForecaster::NwsForecaster()
+    : Name("nws_adaptive"), Mean5(5), Mean10(10), Mean20(20), Mean40(40),
+      Median5(5), Median10(10), Median20(20), Median40(40), Smooth05(0.05),
+      Smooth25(0.25), Smooth75(0.75),
+      Members{&Last, &RunMean, &Mean5, &Mean10, &Mean20, &Mean40, &Median5,
+              &Median10, &Median20, &Median40, &Smooth05, &Smooth25,
+              &Smooth75} {}
 
 void NwsForecaster::observe(double Value) {
   // Score each member on this observation *before* it sees the value (the
-  // postcast error), then feed the value in.
+  // postcast error), then feed the value in.  Direct member calls: this
+  // runs once per sensor sample, and the bodies are small enough to
+  // inline.
   if (Observations != 0) {
-    for (Member &M : Members) {
-      double E = M.Impl->predict() - Value;
-      M.SquaredError += E * E;
-    }
+    size_t I = 0;
+    auto Score = [&](double Prediction) {
+      double E = Prediction - Value;
+      SquaredError[I++] += E * E;
+    };
+    Score(Last.predict());
+    Score(RunMean.predict());
+    Score(Mean5.predict());
+    Score(Mean10.predict());
+    Score(Mean20.predict());
+    Score(Mean40.predict());
+    Score(Median5.predict());
+    Score(Median10.predict());
+    Score(Median20.predict());
+    Score(Median40.predict());
+    Score(Smooth05.predict());
+    Score(Smooth25.predict());
+    Score(Smooth75.predict());
   }
-  for (Member &M : Members)
-    M.Impl->observe(Value);
+  Last.observe(Value);
+  RunMean.observe(Value);
+  Mean5.observe(Value);
+  Mean10.observe(Value);
+  Mean20.observe(Value);
+  Mean40.observe(Value);
+  Median5.observe(Value);
+  Median10.observe(Value);
+  Median20.observe(Value);
+  Median40.observe(Value);
+  Smooth05.observe(Value);
+  Smooth25.observe(Value);
+  Smooth75.observe(Value);
   ++Observations;
 }
 
 size_t NwsForecaster::bestIndex() const {
   size_t Best = 0;
-  for (size_t I = 1, E = Members.size(); I != E; ++I)
-    if (Members[I].SquaredError < Members[Best].SquaredError)
+  for (size_t I = 1; I != BatterySize; ++I)
+    if (SquaredError[I] < SquaredError[Best])
       Best = I;
   return Best;
 }
 
 double NwsForecaster::predict() const {
-  return Members[bestIndex()].Impl->predict();
+  return Members[bestIndex()]->predict();
 }
 
 const std::string &NwsForecaster::bestMemberName() const {
-  return Members[bestIndex()].Impl->name();
+  return Members[bestIndex()]->name();
 }
 
 double NwsForecaster::memberMse(size_t I) const {
-  assert(I < Members.size() && "member index out of range");
+  assert(I < BatterySize && "member index out of range");
   size_t Scored = Observations > 1 ? Observations - 1 : 0;
-  return Scored ? Members[I].SquaredError / static_cast<double>(Scored) : 0.0;
+  return Scored ? SquaredError[I] / static_cast<double>(Scored) : 0.0;
 }

@@ -21,8 +21,6 @@
 #ifndef DGSIM_MONITOR_FORECASTER_H
 #define DGSIM_MONITOR_FORECASTER_H
 
-#include <deque>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -73,6 +71,10 @@ private:
 };
 
 /// Forecasts the mean of the last \p Window observations.
+///
+/// The window lives in a flat ring buffer (one allocation, no deque block
+/// bookkeeping): observe() only needs the expiring value, not ordered
+/// traversal.
 class SlidingMeanForecaster final : public Forecaster {
 public:
   explicit SlidingMeanForecaster(size_t Window);
@@ -83,11 +85,20 @@ public:
 private:
   std::string Name;
   size_t Window;
-  std::deque<double> Values;
+  /// Ring of the last Window values; Head is the oldest once full.
+  std::vector<double> Ring;
+  size_t Head = 0;
+  size_t Count = 0;
   double Sum = 0.0;
 };
 
 /// Forecasts the median of the last \p Window observations.
+///
+/// The window is kept in sorted order incrementally (insert/erase are
+/// O(Window) memmoves over a few hundred bytes), so predict() is O(1).
+/// The meta-forecaster calls every member's predict() once per
+/// observation to score it, which made the sort-on-read implementation
+/// the hottest path in sensor-heavy runs.
 class SlidingMedianForecaster final : public Forecaster {
 public:
   explicit SlidingMedianForecaster(size_t Window);
@@ -98,7 +109,13 @@ public:
 private:
   std::string Name;
   size_t Window;
-  std::deque<double> Values;
+  /// Ring of the last Window values in arrival order; identifies which
+  /// value expires next.
+  std::vector<double> Ring;
+  size_t Head = 0;
+  size_t Count = 0;
+  /// The same multiset as Ring, kept sorted.
+  std::vector<double> Sorted;
 };
 
 /// Exponentially smoothed forecast with gain \p Alpha in (0, 1].
@@ -119,6 +136,13 @@ private:
 /// The NWS meta-forecaster: runs the whole battery, tracks each member's
 /// mean squared error over the stream seen so far, and forwards the
 /// prediction of the current winner.
+///
+/// The battery is stored as concrete members (not boxed behind the
+/// Forecaster interface): observe() makes 26 member calls per observation
+/// and a grid run constructs one battery per sensor, so both the virtual
+/// dispatch and the 13 per-battery heap allocations were measurable at
+/// scale.  The \c Members table re-exposes the battery polymorphically for
+/// introspection.
 class NwsForecaster final : public Forecaster {
 public:
   /// Builds the default battery (13 predictors).
@@ -135,21 +159,28 @@ public:
   double memberMse(size_t I) const;
 
   /// \returns the battery size.
-  size_t memberCount() const { return Members.size(); }
+  size_t memberCount() const { return BatterySize; }
 
   /// \returns the number of observations consumed.
   size_t observationCount() const { return Observations; }
 
 private:
-  struct Member {
-    std::unique_ptr<Forecaster> Impl;
-    double SquaredError = 0.0;
-  };
+  static constexpr size_t BatterySize = 13;
 
   size_t bestIndex() const;
 
   std::string Name;
-  std::vector<Member> Members;
+  // Battery order (fixed; MSE accumulation and tie-breaking depend on it):
+  // last, run_mean, sw_mean(5,10,20,40), sw_median(5,10,20,40),
+  // exp_smooth(0.05,0.25,0.75).
+  LastValueForecaster Last;
+  RunningMeanForecaster RunMean;
+  SlidingMeanForecaster Mean5, Mean10, Mean20, Mean40;
+  SlidingMedianForecaster Median5, Median10, Median20, Median40;
+  ExponentialSmoothingForecaster Smooth05, Smooth25, Smooth75;
+  /// The battery in order, for name()/MSE introspection.
+  Forecaster *Members[BatterySize];
+  double SquaredError[BatterySize] = {};
   size_t Observations = 0;
 };
 

@@ -22,19 +22,57 @@ InformationService::InformationService(Simulator &Sim, FlowNetwork &Net,
     : Sim(Sim), Net(Net), Config(Config), Memory(Names) {
   assert(Config.BandwidthPeriod > 0.0 && Config.HostPeriod > 0.0 &&
          "sensor periods must be positive");
+  assert(Config.StaggerGroups >= 1 && "need at least one stagger group");
+  if (Config.PathSensorTtl > 0.0)
+    TtlSweep = Sim.schedulePeriodic(Config.PathSensorTtl,
+                                    [this] { evictIdlePaths(); });
+}
+
+InformationService::~InformationService() { Sim.cancelPeriodic(TtlSweep); }
+
+SensorBatch *
+InformationService::batchFor(std::vector<std::unique_ptr<SensorBatch>> &Group,
+                             SimTime Period, size_t Index) {
+  if (!Config.BatchSensors)
+    return nullptr;
+  if (Group.empty())
+    Group.resize(Config.StaggerGroups);
+  size_t G = Index % Config.StaggerGroups;
+  if (!Group[G])
+    Group[G] = std::make_unique<SensorBatch>(
+        Sim, Period, Period * double(G) / double(Config.StaggerGroups));
+  return Group[G].get();
+}
+
+SensorBatch *InformationService::hostBatch() {
+  return batchFor(HostBatches, Config.HostPeriod, Hosts.size());
+}
+
+SensorBatch *InformationService::pathBatch() {
+  return batchFor(PathBatches, Config.BandwidthPeriod, PathRoundRobin++);
 }
 
 void InformationService::registerHost(const Host &H) {
   assert(HostIds.find(H.name()) == StringInterner::InvalidId &&
          "host already registered");
   HostSensors S;
-  S.Cpu = std::make_unique<Sensor>(Sim, "cpu/" + H.name(), Config.HostPeriod,
-                                   [&H] { return H.cpuIdle(); });
-  S.Io = std::make_unique<Sensor>(Sim, "io/" + H.name(), Config.HostPeriod,
-                                  [&H] { return H.ioIdle(); });
-  S.Mem = std::make_unique<Sensor>(Sim, "mem/" + H.name(),
-                                   Config.HostPeriod,
-                                   [&H] { return H.memFreeFraction(); });
+  if (SensorBatch *B = hostBatch()) {
+    S.Cpu = std::make_unique<Sensor>(Sim, "cpu/" + H.name(), *B,
+                                     [&H] { return H.cpuIdle(); });
+    S.Io = std::make_unique<Sensor>(Sim, "io/" + H.name(), *B,
+                                    [&H] { return H.ioIdle(); });
+    S.Mem = std::make_unique<Sensor>(Sim, "mem/" + H.name(), *B,
+                                     [&H] { return H.memFreeFraction(); });
+  } else {
+    S.Cpu = std::make_unique<Sensor>(Sim, "cpu/" + H.name(),
+                                     Config.HostPeriod,
+                                     [&H] { return H.cpuIdle(); });
+    S.Io = std::make_unique<Sensor>(Sim, "io/" + H.name(), Config.HostPeriod,
+                                    [&H] { return H.ioIdle(); });
+    S.Mem = std::make_unique<Sensor>(Sim, "mem/" + H.name(),
+                                     Config.HostPeriod,
+                                     [&H] { return H.memFreeFraction(); });
+  }
   // Prime the series so queries before the first tick see a value.
   S.Cpu->sampleNow();
   S.Io->sampleNow();
@@ -50,8 +88,11 @@ void InformationService::registerHost(const Host &H) {
 
 void InformationService::watchPath(NodeId Client, NodeId Server) {
   uint64_t Key = pathKey(Client, Server);
-  if (Paths.find(Key) != Paths.end())
+  auto Existing = Paths.find(Key);
+  if (Existing != Paths.end()) {
+    Existing->second.LastQuery = Sim.now();
     return;
+  }
   // The bandwidth sensor measures what one more well-provisioned GridFTP
   // transfer would obtain right now (a multi-stream probe, as NWS
   // deployments tuned for GridFTP used large probe messages).
@@ -66,23 +107,34 @@ void InformationService::watchPath(NodeId Client, NodeId Server) {
   // residual is measured with a many-stream probe so TCP window limits
   // (which do not indicate congestion) do not masquerade as load.
   auto Ping = [this, Client, Server] {
-    auto Path = Net.routing().path(Server, Client);
+    const NetPath *Path = Net.routing().pathRef(Server, Client);
     if (!Path || Path->Channels.empty())
       return 0.0;
+    // Read the aggregates before probing: the probe routes too, and a
+    // bounded route cache may not keep Path alive across that.
+    double Rtt = Path->Rtt;
     double Goodput =
         Path->BottleneckCapacity * Net.tcp().goodputFactor();
     double Residual = Net.probeBandwidth(Server, Client, /*Streams=*/16);
     double Utilisation =
         Goodput > 0.0 ? 1.0 - std::min(Residual / Goodput, 1.0) : 0.0;
-    return Path->Rtt * (1.0 + 0.8 * Utilisation);
+    return Rtt * (1.0 + 0.8 * Utilisation);
   };
   std::string Suffix =
       std::to_string(Server) + "->" + std::to_string(Client);
   PathSensors PS;
-  PS.Bandwidth = std::make_unique<Sensor>(
-      Sim, "bw/" + Suffix, Config.BandwidthPeriod, std::move(Probe));
-  PS.Latency = std::make_unique<Sensor>(
-      Sim, "lat/" + Suffix, Config.BandwidthPeriod, std::move(Ping));
+  PS.LastQuery = Sim.now();
+  if (SensorBatch *B = pathBatch()) {
+    PS.Bandwidth =
+        std::make_unique<Sensor>(Sim, "bw/" + Suffix, *B, std::move(Probe));
+    PS.Latency =
+        std::make_unique<Sensor>(Sim, "lat/" + Suffix, *B, std::move(Ping));
+  } else {
+    PS.Bandwidth = std::make_unique<Sensor>(
+        Sim, "bw/" + Suffix, Config.BandwidthPeriod, std::move(Probe));
+    PS.Latency = std::make_unique<Sensor>(
+        Sim, "lat/" + Suffix, Config.BandwidthPeriod, std::move(Ping));
+  }
   // A probe launched during a blackout measures nothing: the sensor is
   // born suspended and its series stays empty until the blackout lifts.
   PS.Bandwidth->setSuspended(Blackout);
@@ -102,7 +154,7 @@ SystemFactors InformationService::query(NodeId ClientNode,
 
   SystemFactors F;
   F.PredictedBandwidth = Bw->forecast();
-  auto Path = Net.routing().path(Candidate.node(), ClientNode);
+  const NetPath *Path = Net.routing().pathRef(Candidate.node(), ClientNode);
   F.TheoreticalBandwidth = Path ? Path->BottleneckCapacity : 0.0;
 
   double Denominator = 0.0;
@@ -153,6 +205,21 @@ void InformationService::setBlackout(bool V) {
   for (auto &[Key, PS] : Paths) {
     PS.Bandwidth->setSuspended(V);
     PS.Latency->setSuspended(V);
+  }
+}
+
+void InformationService::evictIdlePaths() {
+  SimTime Cutoff = Sim.now() - Config.PathSensorTtl;
+  for (auto It = Paths.begin(); It != Paths.end();) {
+    if (It->second.LastQuery < Cutoff) {
+      // Retire the names first: the records outlive the sensors, and a
+      // later watchPath for the same pair rebinds them.
+      Names.retireSensor(It->second.Bandwidth->name());
+      Names.retireSensor(It->second.Latency->name());
+      It = Paths.erase(It);
+    } else {
+      ++It;
+    }
   }
 }
 

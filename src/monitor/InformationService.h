@@ -88,6 +88,25 @@ struct InformationServiceConfig {
   SimTime HostPeriod = 5.0;
   /// P^BW denominator convention.
   BwNormalization Normalization = BwNormalization::ClientAccess;
+
+  // Scale-out knobs.  The defaults preserve the historical per-sensor
+  // scheduling exactly (every sensor owns a periodic anchored at its
+  // creation time), which the golden figures depend on; large-grid benches
+  // opt in.
+
+  /// Multiplex sensors behind shared SensorBatch ticks instead of one
+  /// kernel event per sensor.  Changes *when* lazily-created path sensors
+  /// sample (they join the batch grid rather than anchoring at creation),
+  /// so this is opt-in.
+  bool BatchSensors = false;
+  /// Number of phase-staggered batch groups per period (>= 1).  With G
+  /// groups, group g ticks at phase g*Period/G, spreading a large sensor
+  /// population across the period instead of sampling in one burst.
+  unsigned StaggerGroups = 1;
+  /// Destroy path sensors that no query has touched for this long, and
+  /// retire their nameserver records (a later query recreates and rebinds
+  /// them).  0 keeps every path sensor forever.
+  SimTime PathSensorTtl = 0.0;
 };
 
 /// Aggregates sensors and answers factor queries.
@@ -95,6 +114,7 @@ class InformationService {
 public:
   InformationService(Simulator &Sim, FlowNetwork &Net,
                      InformationServiceConfig Config = {});
+  ~InformationService();
 
   InformationService(const InformationService &) = delete;
   InformationService &operator=(const InformationService &) = delete;
@@ -140,6 +160,11 @@ public:
   /// have no direct Simulator reference, e.g. for trace timestamps).
   SimTime now() const { return Sim.now(); }
 
+  /// \returns the number of live path-sensor pairs.  Introspection for the
+  /// TTL-eviction tests and the scale benches: with PathSensorTtl set this
+  /// must track the touched working set, not every pair ever queried.
+  size_t pathSensorCount() const { return Paths.size(); }
+
 private:
   struct HostSensors {
     std::unique_ptr<Sensor> Cpu;
@@ -150,6 +175,8 @@ private:
   struct PathSensors {
     std::unique_ptr<Sensor> Bandwidth;
     std::unique_ptr<Sensor> Latency;
+    /// Last time a query touched this path; drives TTL eviction.
+    SimTime LastQuery = 0.0;
   };
 
   /// \returns the sensors for a registered host (asserts registration).
@@ -157,11 +184,28 @@ private:
   /// selection-loop factor read is then a vector access.
   const HostSensors &hostSensors(const Host &H) const;
 
+  /// \returns the stagger-group batch for new host/path sensors, creating
+  /// it lazily; nullptr when batching is off (sensors self-schedule).
+  SensorBatch *hostBatch();
+  SensorBatch *pathBatch();
+  SensorBatch *batchFor(std::vector<std::unique_ptr<SensorBatch>> &Group,
+                        SimTime Period, size_t Index);
+
+  /// Destroys path sensors idle past the TTL; their nameserver records are
+  /// retired, not erased, so recreation rebinds them.
+  void evictIdlePaths();
+
   Simulator &Sim;
   FlowNetwork &Net;
   InformationServiceConfig Config;
   NwsNameserver Names;
   NwsMemory Memory;
+  /// Batches must outlive their member sensors (sensor destructors detach
+  /// from their batch), so they are declared before Hosts and Paths.
+  std::vector<std::unique_ptr<SensorBatch>> HostBatches;
+  std::vector<std::unique_ptr<SensorBatch>> PathBatches;
+  uint64_t PathRoundRobin = 0;
+  EventId TtlSweep = InvalidEventId;
   /// Host name -> dense id; ids index Hosts.
   StringInterner HostIds;
   std::vector<HostSensors> Hosts;

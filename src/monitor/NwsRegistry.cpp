@@ -13,8 +13,17 @@ using namespace dgsim;
 
 void NwsNameserver::registerSensor(const Sensor &S, std::string Kind,
                                    std::string Resource) {
-  assert(NameIds.find(S.name()) == StringInterner::InvalidId &&
-         "duplicate sensor registration");
+  StringInterner::Id Existing = NameIds.find(S.name());
+  if (Existing != StringInterner::InvalidId) {
+    // Interned ids are dense and never recycled, so a retired record keeps
+    // its slot; re-registering the same name rebinds it to the new sensor.
+    SensorRecord &R = Records[Existing];
+    assert(R.Instance == nullptr && "duplicate sensor registration");
+    assert(R.Kind == Kind && R.Resource == Resource &&
+           "rebound sensor changed kind or resource");
+    R.Instance = &S;
+    return;
+  }
   StringInterner::Id Id = NameIds.intern(S.name());
   assert(Id == Records.size() && "intern ids must stay dense");
   (void)Id;
@@ -26,6 +35,12 @@ void NwsNameserver::registerSensor(const Sensor &S, std::string Kind,
   Records.push_back(std::move(R));
 }
 
+void NwsNameserver::retireSensor(std::string_view Name) {
+  StringInterner::Id Id = NameIds.find(Name);
+  assert(Id != StringInterner::InvalidId && "retiring an unknown sensor");
+  Records[Id].Instance = nullptr;
+}
+
 const SensorRecord *NwsNameserver::lookup(std::string_view Name) const {
   StringInterner::Id Id = NameIds.find(Name);
   return Id == StringInterner::InvalidId ? nullptr : &Records[Id];
@@ -35,7 +50,7 @@ std::vector<const SensorRecord *>
 NwsNameserver::byKind(std::string_view Kind) const {
   std::vector<const SensorRecord *> Result;
   for (const SensorRecord &R : Records)
-    if (R.Kind == Kind)
+    if (R.Instance && R.Kind == Kind)
       Result.push_back(&R);
   // Records sit in registration order; the contract is name order.
   std::sort(Result.begin(), Result.end(),
@@ -47,7 +62,7 @@ NwsNameserver::byKind(std::string_view Kind) const {
 
 const TimeSeries *NwsMemory::series(std::string_view SensorName) const {
   const SensorRecord *R = Names.lookup(SensorName);
-  return R ? &R->Instance->history() : nullptr;
+  return R && R->Instance ? &R->Instance->history() : nullptr;
 }
 
 double NwsMemory::latestValue(std::string_view SensorName,

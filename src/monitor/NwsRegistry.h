@@ -31,7 +31,9 @@
 
 namespace dgsim {
 
-/// Metadata a nameserver keeps per sensor.
+/// Metadata a nameserver keeps per sensor.  A record with a null Instance
+/// is *retired*: the sensor was destroyed (idle-path eviction) but the name
+/// keeps its dense id so a later sensor for the same resource rebinds it.
 struct SensorRecord {
   std::string Name;
   std::string Kind;     // "bandwidth", "cpu", "io", ...
@@ -42,9 +44,16 @@ struct SensorRecord {
 /// Naming and discovery for sensors.
 class NwsNameserver {
 public:
-  /// Registers a sensor; names must be unique.
+  /// Registers a sensor; names must be unique among live sensors.
+  /// Registering the name of a retired record rebinds that record (the kind
+  /// and resource must match).
   void registerSensor(const Sensor &S, std::string Kind,
                       std::string Resource);
+
+  /// Marks \p Name's record as retired ahead of destroying its sensor.
+  /// The record survives (lookup still resolves it, with a null Instance);
+  /// byKind() and NwsMemory skip retired records.
+  void retireSensor(std::string_view Name);
 
   /// \returns the record for \p Name, or nullptr when unknown.  Resolves
   /// through the interner, so the hot monitoring path pays one hash of the

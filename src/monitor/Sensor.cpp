@@ -6,6 +6,7 @@
 
 #include "monitor/Sensor.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 
@@ -20,7 +21,19 @@ Sensor::Sensor(Simulator &Sim, std::string Name, SimTime Period,
   Periodic = Sim.schedulePeriodic(Period, [this] { sampleNow(); });
 }
 
-Sensor::~Sensor() { Sim.cancelPeriodic(Periodic); }
+Sensor::Sensor(Simulator &Sim, std::string Name, SensorBatch &Batch,
+               std::function<double()> Measure, size_t HistoryCapacity)
+    : Sim(Sim), Name(std::move(Name)), Measure(std::move(Measure)),
+      History(HistoryCapacity) {
+  assert(this->Measure && "sensors need a measurement closure");
+  Batch.add(*this);
+}
+
+Sensor::~Sensor() {
+  if (Batch)
+    Batch->remove(*this);
+  Sim.cancelPeriodic(Periodic);
+}
 
 void Sensor::sampleNow() {
   if (Suspended)
@@ -37,4 +50,57 @@ double Sensor::lastValue() const {
 SimTime Sensor::lastSampleTime() const {
   return History.empty() ? -std::numeric_limits<double>::infinity()
                          : History.latest().Time;
+}
+
+//===----------------------------------------------------------------------===//
+// SensorBatch
+//===----------------------------------------------------------------------===//
+
+SensorBatch::SensorBatch(Simulator &Sim, SimTime Period, SimTime Phase)
+    : Sim(Sim) {
+  assert(Period > 0.0 && "batches need a positive period");
+  assert(Phase >= 0.0 && "batch phase must be non-negative");
+  Periodic = Sim.schedulePeriodic(Period, [this] { tick(); }, Phase);
+}
+
+SensorBatch::~SensorBatch() {
+  assert(size() == 0 && "batch destroyed while sensors still attached");
+  Sim.cancelPeriodic(Periodic);
+}
+
+void SensorBatch::add(Sensor &S) {
+  assert(!S.Batch && "sensor already batch-driven");
+  S.Batch = this;
+  S.BatchPos = Members.size();
+  Members.push_back(&S);
+}
+
+void SensorBatch::remove(Sensor &S) {
+  assert(S.Batch == this && Members[S.BatchPos] == &S &&
+         "sensor not a member of this batch");
+  Members[S.BatchPos] = nullptr;
+  S.Batch = nullptr;
+  ++Dead;
+  if (Dead * 2 > Members.size()) {
+    // Compact, preserving registration order so tick order is unchanged.
+    size_t Out = 0;
+    for (Sensor *M : Members)
+      if (M) {
+        M->BatchPos = Out;
+        Members[Out++] = M;
+      }
+    Members.resize(Out);
+    Dead = 0;
+  }
+}
+
+void SensorBatch::tick() {
+  // Members added during a tick (a measurement closure creating sensors is
+  // unusual but legal) are sampled starting from the next tick: index-based
+  // iteration over the pre-tick size keeps the pass well defined even if
+  // Members reallocates.
+  size_t N = Members.size();
+  for (size_t I = 0; I != N; ++I)
+    if (Sensor *M = Members[I])
+      M->sampleNow();
 }

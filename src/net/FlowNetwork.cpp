@@ -96,7 +96,11 @@ void FlowNetwork::freeSlot(uint32_t Slot) {
   ActiveFlow &F = Slots[Slot];
   F.Live = false;
   F.OnComplete = nullptr;
-  F.Path = nullptr;
+  if (F.Path) {
+    // Drop the route-cache pin taken in startFlow.
+    Router.releasePath(F.Src, F.Dst);
+    F.Path = nullptr;
+  }
   F.Rate = 0.0;
   FreeSlots.push_back(Slot);
 }
@@ -529,7 +533,9 @@ FlowId FlowNetwork::startFlow(NodeId Src, NodeId Dst, Bytes Volume,
                               CompletionFn OnComplete) {
   assert(Volume >= 0.0 && "negative flow volume");
   assert(Options.Streams >= 1 && "flows need at least one stream");
-  const NetPath *Path = Router.pathRef(Src, Dst);
+  // Pinned for the flow's lifetime: the slot references Path->Channels in
+  // place, and the route cache may not evict a pinned entry.
+  const NetPath *Path = Router.acquirePath(Src, Dst);
   assert(Path && "startFlow between disconnected nodes");
   uint32_t Slot = allocSlot();
   ActiveFlow &F = Slots[Slot];
@@ -572,6 +578,11 @@ void FlowNetwork::cancelFlow(FlowId Id) {
 }
 
 void FlowNetwork::setEndpointCap(FlowId Id, BitRate Cap) {
+  updateEndpointCap(Id, Cap);
+  commitEndpointCaps();
+}
+
+void FlowNetwork::updateEndpointCap(FlowId Id, BitRate Cap) {
   uint32_t Slot = findSlot(Id);
   if (Slot == ~0u)
     return;
@@ -580,7 +591,11 @@ void FlowNetwork::setEndpointCap(FlowId Id, BitRate Cap) {
     return;
   Slots[Slot].EndpointCap = Cap;
   SeedSlots.push_back(Slot);
-  solveComponent(nullptr);
+}
+
+void FlowNetwork::commitEndpointCaps() {
+  if (!SeedSlots.empty())
+    solveComponent(nullptr);
 }
 
 BitRate FlowNetwork::currentRate(FlowId Id) const {

@@ -100,6 +100,17 @@ public:
   /// disk became busier).  No-op when the id is not active.
   void setEndpointCap(FlowId Id, BitRate Cap);
 
+  /// Deferred variant of setEndpointCap: records the new cap and seeds the
+  /// flow for the next solve without rebalancing.  Rates and completion
+  /// times are stale until commitEndpointCaps() runs; no simulation time
+  /// may pass in between.  Lets a batch cap refresh pay one component
+  /// solve instead of one per changed flow.
+  void updateEndpointCap(FlowId Id, BitRate Cap);
+
+  /// Rebalances once after a run of updateEndpointCap calls (no-op when
+  /// none changed anything).
+  void commitEndpointCaps();
+
   /// \returns the instantaneous rate of an active flow, or 0 when inactive.
   BitRate currentRate(FlowId Id) const;
 

@@ -10,6 +10,7 @@
 
 #include <cassert>
 #include <cstdio>
+#include <utility>
 
 using namespace dgsim;
 
@@ -75,6 +76,32 @@ Host *LeastLoadedCpuPolicy::choose(NodeId Client,
     }
   }
   return Best;
+}
+
+TwoChoicePolicy::TwoChoicePolicy(SelectionPolicy &Inner, RandomEngine Rng,
+                                 unsigned Choices)
+    : Inner(Inner), Rng(Rng), Choices(Choices) {
+  assert(Choices >= 1 && "need at least one choice");
+  Name = std::to_string(Choices) + "-choice(" + Inner.name() + ")";
+}
+
+void TwoChoicePolicy::setHealthTracker(HealthTracker *T) {
+  Inner.setHealthTracker(T);
+}
+
+Host *TwoChoicePolicy::choose(NodeId Client,
+                              const std::vector<Host *> &Candidates,
+                              InformationService &Info) {
+  assert(!Candidates.empty() && "no candidates to choose from");
+  if (Candidates.size() <= Choices)
+    return Inner.choose(Client, Candidates, Info);
+  // Partial Fisher-Yates over a scratch copy: the first Choices slots
+  // become a uniform sample without replacement, in draw order.
+  Sample.assign(Candidates.begin(), Candidates.end());
+  for (unsigned I = 0; I != Choices; ++I)
+    std::swap(Sample[I], Sample[I + Rng.uniformInt(Sample.size() - I)]);
+  Sample.resize(Choices);
+  return Inner.choose(Client, Sample, Info);
 }
 
 CostModelPolicy::CostModelPolicy(CostWeights Weights) : Model(Weights) {

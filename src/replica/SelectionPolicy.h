@@ -17,6 +17,11 @@
 ///     model with W = (1, 0, 0);
 ///   * LeastLoadedCpuPolicy -- CPU-greedy, bandwidth-blind.
 ///
+/// TwoChoicePolicy is a combinator rather than a strategy: it samples a
+/// few random candidates and lets any inner policy rank only the sample,
+/// trading a little selection quality for herd immunity when the inner
+/// policy's measurements are stale.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DGSIM_REPLICA_SELECTIONPOLICY_H
@@ -48,8 +53,9 @@ public:
   /// Attaches a site-health tracker.  Measurement-driven policies blend
   /// HealthTracker::healthScore into their ranking so degraded sites are
   /// demoted; the no-information baselines (random, round-robin) ignore
-  /// it.  Pass nullptr to detach.
-  void setHealthTracker(HealthTracker *T) { Health = T; }
+  /// it.  Pass nullptr to detach.  Virtual so combinators can forward
+  /// the tracker to the policy that actually ranks.
+  virtual void setHealthTracker(HealthTracker *T) { Health = T; }
 
 protected:
   /// \returns the multiplicative health factor for \p H: the tracker's
@@ -107,6 +113,41 @@ public:
 
 private:
   std::string Name;
+};
+
+/// Mitzenmacher's power-of-d-choices, as a combinator: sample \p Choices
+/// distinct candidates uniformly and let the inner policy rank only the
+/// sample.
+///
+/// This is the classic antidote to stale-information herding.  A
+/// measurement-driven policy ranks every client's candidates from the
+/// same periodic forecast, so between measurements every request for a
+/// popular file lands on the same "best" holder — which is saturated
+/// long before the next sample shows it.  Ranking a random pair spreads
+/// the load across holders almost as evenly as fresh information would,
+/// while still strongly preferring good replicas ("How Useful Is Old
+/// Information?", Mitzenmacher 2000).  With Choices >= the candidate
+/// count the combinator is transparent and the inner policy sees the
+/// full list.
+class TwoChoicePolicy final : public SelectionPolicy {
+public:
+  /// \p Inner ranks the sample (not owned); \p Rng drives the sampling
+  /// (pass a forked engine for deterministic runs).
+  TwoChoicePolicy(SelectionPolicy &Inner, RandomEngine Rng,
+                  unsigned Choices = 2);
+  const std::string &name() const override { return Name; }
+  Host *choose(NodeId Client, const std::vector<Host *> &Candidates,
+               InformationService &Info) override;
+  /// The tracker matters to whoever ranks: forward it to the inner
+  /// policy (the combinator itself never scores a host).
+  void setHealthTracker(HealthTracker *T) override;
+
+private:
+  std::string Name;
+  SelectionPolicy &Inner;
+  RandomEngine Rng;
+  unsigned Choices;
+  std::vector<Host *> Sample; // Scratch, reused across calls.
 };
 
 /// The paper's weighted cost model: arg max of Eq. (1).

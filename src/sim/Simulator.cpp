@@ -100,6 +100,32 @@ void Simulator::siftDown(uint32_t Pos) {
   Slots[slotOf(E)].HeapPos = Pos;
 }
 
+void Simulator::popMin() {
+  assert(!Heap.empty());
+  HeapEntry Filler = Heap.back();
+  Heap.pop_back();
+  if (Heap.empty())
+    return;
+  const uint32_t Size = uint32_t(Heap.size());
+  uint32_t Pos = 0;
+  for (;;) {
+    uint32_t First = 4 * Pos + 1;
+    if (First >= Size)
+      break;
+    uint32_t Last = First + 4 < Size ? First + 4 : Size;
+    uint32_t Min = First;
+    for (uint32_t C = First + 1; C < Last; ++C)
+      if (entryBefore(Heap[C], Heap[Min]))
+        Min = C;
+    Heap[Pos] = Heap[Min];
+    Slots[slotOf(Heap[Pos])].HeapPos = Pos;
+    Pos = Min;
+  }
+  Heap[Pos] = Filler;
+  Slots[slotOf(Filler)].HeapPos = Pos;
+  siftUp(Pos);
+}
+
 void Simulator::heapRemoveAt(uint32_t Pos) {
   assert(Pos < Heap.size());
   HeapEntry Last = Heap.back();
@@ -154,7 +180,7 @@ void Simulator::executeUntil(SimTime Deadline, bool StopWhenOnlyDaemons) {
     const HeapEntry Top = Heap[0];
     if (Top.Time > Deadline)
       break;
-    heapRemoveAt(0);
+    popMin();
     EventSlot &E = Slots[slotOf(Top)];
     assert(Top.Time >= Now && "event queue went backwards");
     Now = Top.Time;
@@ -204,6 +230,8 @@ EventId Simulator::schedulePeriodic(SimTime Period, EventCallback Fn,
 }
 
 bool Simulator::cancelPeriodic(EventId Id) {
+  if (Id == InvalidEventId)
+    return false; // Never-scheduled handle (e.g. a batch-driven sensor).
   assert((Id & PeriodicTag) != 0 && "not a periodic handle");
   uint32_t Slot = handleSlot(Id);
   assert(Slot < Periodics.size() && "unknown periodic handle");

@@ -30,6 +30,7 @@
 #include "support/Units.h"
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 namespace dgsim {
@@ -150,16 +151,28 @@ private:
   };
 
   /// \returns true when \p A fires before \p B: (time, seq) order.
+  /// Event times are non-negative, so the IEEE bit pattern orders like the
+  /// double and the (time, seq) pair compares as one 128-bit integer —
+  /// branch-free, which matters in the heap's min-child scans.
   static bool entryBefore(const HeapEntry &A, const HeapEntry &B) {
-    if (A.Time != B.Time)
-      return A.Time < B.Time;
-    return A.SeqSlot < B.SeqSlot;
+    auto Key = [](const HeapEntry &E) {
+      uint64_t TimeBits;
+      static_assert(sizeof(TimeBits) == sizeof(E.Time));
+      std::memcpy(&TimeBits, &E.Time, sizeof(TimeBits));
+      return (static_cast<unsigned __int128>(TimeBits) << 64) | E.SeqSlot;
+    };
+    return Key(A) < Key(B);
   }
 
   void siftUp(uint32_t Pos);
   void siftDown(uint32_t Pos);
   /// Removes the heap entry at \p Pos, restoring the heap property.
   void heapRemoveAt(uint32_t Pos);
+  /// Removes the root entry (the dispatch hot path).  Equivalent to
+  /// heapRemoveAt(0) but uses a hole descent: walk the minimum-child chain
+  /// to a leaf without comparing against the tail filler (which is almost
+  /// always a far-future event), then sift the filler up from there.
+  void popMin();
 
   uint32_t allocEventSlot();
   void releaseEventSlot(uint32_t Slot);

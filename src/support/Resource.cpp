@@ -1,0 +1,48 @@
+//===- support/Resource.cpp ------------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Resource.h"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+using namespace dgsim;
+
+uint64_t dgsim::peakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) != 0)
+    return 0;
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(Usage.ru_maxrss); // bytes on Darwin
+#else
+  return static_cast<uint64_t>(Usage.ru_maxrss) * 1024; // kilobytes on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+uint64_t dgsim::currentRssBytes() {
+#if defined(__linux__)
+  std::FILE *F = std::fopen("/proc/self/statm", "r");
+  if (!F)
+    return 0;
+  unsigned long long Total = 0, Resident = 0;
+  int Got = std::fscanf(F, "%llu %llu", &Total, &Resident);
+  std::fclose(F);
+  if (Got != 2)
+    return 0;
+  return static_cast<uint64_t>(Resident) *
+         static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}

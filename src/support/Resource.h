@@ -1,0 +1,32 @@
+//===- support/Resource.h - Host process resource introspection -----------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memory introspection for the bench harness: peak and current resident
+/// set size of the running process.  Scale benches report these alongside
+/// throughput so memory walls show up in BENCH_*.json, not just in OOM
+/// kills.  Host-side values — never part of determinism comparisons.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_SUPPORT_RESOURCE_H
+#define DGSIM_SUPPORT_RESOURCE_H
+
+#include <cstdint>
+
+namespace dgsim {
+
+/// \returns the process's peak resident set size in bytes (getrusage),
+/// or 0 when the platform cannot report it.
+uint64_t peakRssBytes();
+
+/// \returns the process's current resident set size in bytes
+/// (/proc/self/statm), or 0 when the platform cannot report it.
+uint64_t currentRssBytes();
+
+} // namespace dgsim
+
+#endif // DGSIM_SUPPORT_RESOURCE_H

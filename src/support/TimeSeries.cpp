@@ -11,59 +11,65 @@
 using namespace dgsim;
 
 void TimeSeries::add(SimTime Time, double Value) {
-  assert((Samples.empty() || Time >= Samples.back().Time) &&
+  assert((Count == 0 || Time >= latest().Time) &&
          "samples must arrive in time order");
-  Samples.push_back(Sample{Time, Value});
-  if (Capacity != 0 && Samples.size() > Capacity)
-    Samples.pop_front();
+  if (Capacity == 0 || Samples.size() < Capacity) {
+    Samples.push_back(Sample{Time, Value});
+    ++Count;
+    return;
+  }
+  // Warm bounded series: overwrite the oldest slot in place.
+  Samples[Head] = Sample{Time, Value};
+  Head = Head + 1 == Samples.size() ? 0 : Head + 1;
 }
 
 const Sample &TimeSeries::latest() const {
-  assert(!Samples.empty() && "latest() on empty series");
-  return Samples.back();
+  assert(Count != 0 && "latest() on empty series");
+  return slot(Count - 1);
 }
 
 const Sample &TimeSeries::at(size_t I) const {
-  assert(I < Samples.size() && "sample index out of range");
-  return Samples[I];
+  assert(I < Count && "sample index out of range");
+  return slot(I);
 }
 
 std::vector<double> TimeSeries::lastValues(size_t N) const {
-  size_t Take = N < Samples.size() ? N : Samples.size();
+  size_t Take = N < Count ? N : Count;
   std::vector<double> Result;
   Result.reserve(Take);
-  for (size_t I = Samples.size() - Take, E = Samples.size(); I != E; ++I)
-    Result.push_back(Samples[I].Value);
+  for (size_t I = Count - Take; I != Count; ++I)
+    Result.push_back(slot(I).Value);
   return Result;
 }
 
 double TimeSeries::meanSince(SimTime Since) const {
   double Sum = 0.0;
-  size_t Count = 0;
+  size_t Matched = 0;
   // Scan from the newest sample backwards; stops at the cutoff.
-  for (size_t I = Samples.size(); I-- > 0;) {
-    if (Samples[I].Time < Since)
+  for (size_t I = Count; I-- > 0;) {
+    const Sample &S = slot(I);
+    if (S.Time < Since)
       break;
-    Sum += Samples[I].Value;
-    ++Count;
+    Sum += S.Value;
+    ++Matched;
   }
-  return Count ? Sum / static_cast<double>(Count) : 0.0;
+  return Matched ? Sum / static_cast<double>(Matched) : 0.0;
 }
 
 size_t TimeSeries::countSince(SimTime Since) const {
-  size_t Count = 0;
-  for (size_t I = Samples.size(); I-- > 0;) {
-    if (Samples[I].Time < Since)
+  size_t Matched = 0;
+  for (size_t I = Count; I-- > 0;) {
+    if (slot(I).Time < Since)
       break;
-    ++Count;
+    ++Matched;
   }
-  return Count;
+  return Matched;
 }
 
 std::vector<double> TimeSeries::values() const {
   std::vector<double> Result;
-  Result.reserve(Samples.size());
-  for (const Sample &S : Samples)
-    Result.push_back(S.Value);
+  Result.reserve(Count);
+  for (size_t I = 0; I != Count; ++I)
+    Result.push_back(slot(I).Value);
   return Result;
 }

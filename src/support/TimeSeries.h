@@ -19,7 +19,6 @@
 #include "support/Units.h"
 
 #include <cstddef>
-#include <deque>
 #include <vector>
 
 namespace dgsim {
@@ -32,6 +31,10 @@ struct Sample {
 
 /// Time-ordered sample buffer with a configurable capacity; the oldest
 /// samples are evicted first (NWS keeps a fixed history per sensor).
+///
+/// Bounded series are flat ring buffers: once warm, add() is a single
+/// in-place overwrite.  Every sensor sample lands here, so the eviction
+/// path must not touch the allocator.
 class TimeSeries {
 public:
   /// \p Capacity zero means unbounded.
@@ -40,8 +43,8 @@ public:
   /// Appends a sample.  Timestamps must be non-decreasing.
   void add(SimTime Time, double Value);
 
-  bool empty() const { return Samples.empty(); }
-  size_t size() const { return Samples.size(); }
+  bool empty() const { return Count == 0; }
+  size_t size() const { return Count; }
 
   /// \returns the most recent sample; series must be non-empty.
   const Sample &latest() const;
@@ -64,11 +67,27 @@ public:
   std::vector<double> values() const;
 
   /// Removes every sample.
-  void clear() { Samples.clear(); }
+  void clear() {
+    Samples.clear();
+    Head = 0;
+    Count = 0;
+  }
 
 private:
+  /// \returns the sample at logical position \p I (0 = oldest).
+  const Sample &slot(size_t I) const {
+    size_t Pos = Head + I;
+    if (Pos >= Samples.size())
+      Pos -= Samples.size();
+    return Samples[Pos];
+  }
+
   size_t Capacity;
-  std::deque<Sample> Samples;
+  /// Physical storage; grows to Capacity then becomes a ring with Head
+  /// marking the oldest sample (Head stays 0 while unbounded or filling).
+  std::vector<Sample> Samples;
+  size_t Head = 0;
+  size_t Count = 0;
 };
 
 } // namespace dgsim

@@ -290,6 +290,31 @@ TEST_F(ReplicaFixture, RandomPolicyCoversAllCandidates) {
   EXPECT_TRUE(SawFast && SawMid && SawSlow);
 }
 
+TEST_F(ReplicaFixture, TwoChoiceSpreadsWhileInnerRanks) {
+  CostModelPolicy Cost;
+  TwoChoicePolicy P(Cost, Sim.forkRng());
+  EXPECT_EQ(P.name(), "2-choice(" + Cost.name() + ")");
+
+  // The inner ranking decides each sampled pair, so the best holder
+  // wins exactly the ~2/3 of draws whose pair contains it — no herd —
+  // while the runner-up takes the {mid, slow} pairs and the worst
+  // holder, which loses every pair it appears in, never wins.
+  int Wins[3] = {0, 0, 0};
+  for (int I = 0; I < 300; ++I) {
+    Host *H = P.choose(ClientNode, candidates(), *Info);
+    Wins[H == Fast.get() ? 0 : H == MidH.get() ? 1 : 2]++;
+  }
+  EXPECT_GT(Wins[0], 150); // ~200 expected.
+  EXPECT_GT(Wins[1], 50);  // ~100 expected.
+  EXPECT_EQ(Wins[2], 0) << "slow loses both pairings under paper weights";
+
+  // With the sample as wide as the candidate list the combinator is
+  // transparent: every draw is the inner policy's pick.
+  TwoChoicePolicy Wide(Cost, Sim.forkRng(), 3);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(Wide.choose(ClientNode, candidates(), *Info), Fast.get());
+}
+
 TEST_F(ReplicaFixture, SelectorReportsAllCandidates) {
   CostModelPolicy P;
   ReplicaSelector Sel(Cat, *Info, P);
