@@ -25,10 +25,12 @@
 
 #include "BenchUtil.h"
 
+#include "exp/Options.h"
 #include "net/FlowNetwork.h"
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <vector>
 
 using namespace dgsim;
@@ -41,14 +43,25 @@ struct ChurnResult {
   double EventsPerSec = 0.0;
   double MeanComponent = 0.0;
   double MaxError = 0.0;
+  /// Wall seconds of the churn window (host-side; provenance only).
+  double WallSeconds = 0.0;
+  /// Kernel events executed during the window — deterministic, so the
+  /// threaded arms must reproduce it exactly.
+  uint64_t Events = 0;
+  uint64_t DemandsSolved = 0;
+  /// Component solves the partitioned parallel path handled.
+  uint64_t ParallelSolves = 0;
 };
 
 /// Builds the topology, ramps up to \p NumFlows concurrent flows, then runs
 /// \p Steps churn operations with the clock advancing so completions and
-/// stale heap entries are exercised too.
+/// stale heap entries are exercised too.  \p Threads drives the
+/// simulator's parallel executor; rates and statistics are bit-identical
+/// for any value.
 ChurnResult runChurn(size_t NumFlows, bool SharedCore, size_t Steps,
-                     uint64_t Seed) {
+                     uint64_t Seed, unsigned Threads = 1) {
   Simulator Sim(Seed);
+  Sim.setThreads(Threads);
   Topology Topo;
   constexpr size_t NumSites = 128;
   std::vector<NodeId> Src(NumSites), Dst(NumSites);
@@ -133,44 +146,66 @@ ChurnResult runChurn(size_t NumFlows, bool SharedCore, size_t Steps,
 
   ChurnResult R;
   double Seconds = std::chrono::duration<double>(Wall1 - Wall0).count();
+  R.WallSeconds = Seconds;
   R.StepsPerSec = Seconds > 0.0 ? double(Steps) / Seconds : 0.0;
   uint64_t SimEvents = Sim.eventsExecuted() - SimEvents0;
+  R.Events = SimEvents;
   R.EventsPerSec = Seconds > 0.0 ? double(SimEvents) / Seconds : 0.0;
   uint64_t Events = Net.rebalanceEvents() - Events0;
   uint64_t Demands = Net.rebalanceDemandsSolved() - Demands0;
+  R.DemandsSolved = Demands;
   R.MeanComponent = Events > 0 ? double(Demands) / double(Events) : 0.0;
   R.MaxError = Net.maxRebalanceError();
+  R.ParallelSolves = Net.parallelSolves();
   return R;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  exp::BenchOptions Opt =
+      exp::parseBenchOptions(argc, argv, "flow_churn", /*BaseSeed=*/7);
+  const unsigned Threads = Opt.threads();
+  const uint64_t Seed = Opt.BaseSeed;
+  const size_t Div = Opt.Quick ? 4 : 1;
   bench::banner("Network substrate: flow churn at scale",
                 "perf harness for incremental rebalancing (events re-solve "
                 "one component, not every concurrent flow)");
 
   Table T;
   T.setHeader(
-      {"flows", "topology", "steps/s", "events/s", "mean component",
-       "max err"});
-  ChurnResult Pairs1k = runChurn(1000, false, 2000, 7);
-  ChurnResult Pairs10k = runChurn(10000, false, 2000, 7);
-  ChurnResult Core1k = runChurn(1000, true, 1000, 7);
-  ChurnResult Core10k = runChurn(10000, true, 200, 7);
-  auto Row = [&](size_t Flows, const char *Topo, const ChurnResult &R) {
+      {"flows", "topology", "threads", "steps/s", "events/s",
+       "mean component", "max err"});
+  ChurnResult Pairs1k = runChurn(1000, false, 2000 / Div, Seed);
+  ChurnResult Pairs10k = runChurn(10000, false, 2000 / Div, Seed);
+  ChurnResult Core1k = runChurn(1000, true, 1000 / Div, Seed);
+  ChurnResult Core10k = runChurn(10000, true, 200 / Div, Seed);
+  auto Row = [&](size_t Flows, const char *Topo, unsigned Thr,
+                 const ChurnResult &R) {
     T.beginRow();
     T.add(static_cast<long long>(Flows));
     T.add(Topo);
+    T.add(static_cast<long long>(Thr));
     T.add(R.StepsPerSec, 0);
     T.add(R.EventsPerSec, 0);
     T.add(R.MeanComponent, 1);
     T.add(R.MaxError, 12);
   };
-  Row(1000, "isolated-pairs", Pairs1k);
-  Row(10000, "isolated-pairs", Pairs10k);
-  Row(1000, "shared-core", Core1k);
-  Row(10000, "shared-core", Core10k);
+  Row(1000, "isolated-pairs", 1, Pairs1k);
+  Row(10000, "isolated-pairs", 1, Pairs10k);
+  Row(1000, "shared-core", 1, Core1k);
+  Row(10000, "shared-core", 1, Core10k);
+
+  // Threaded arms: re-run the coupled topologies (where components get
+  // large enough for the partitioned parallel solve) and demand bitwise
+  // agreement with the serial statistics.
+  ChurnResult Core1kT, Core10kT;
+  if (Threads > 1) {
+    Core1kT = runChurn(1000, true, 1000 / Div, Seed, Threads);
+    Core10kT = runChurn(10000, true, 200 / Div, Seed, Threads);
+    Row(1000, "shared-core", Threads, Core1kT);
+    Row(10000, "shared-core", Threads, Core10kT);
+  }
   T.print(stdout);
   std::printf("\n");
 
@@ -198,5 +233,77 @@ int main() {
   bench::shapeCheck(Scales,
                     "churn throughput degrades sublinearly from 1k to 10k "
                     "concurrent flows");
+  if (Threads > 1) {
+    auto Same = [](const ChurnResult &A, const ChurnResult &B) {
+      return A.Events == B.Events && A.DemandsSolved == B.DemandsSolved &&
+             A.MeanComponent == B.MeanComponent && A.MaxError == B.MaxError;
+    };
+    bench::shapeCheck(Same(Core1k, Core1kT) && Same(Core10k, Core10kT),
+                      "threaded churn reproduces the serial rebalance "
+                      "statistics bit-for-bit");
+    std::printf("threads: %u, shared-core 10k events/s %.0f (serial) vs "
+                "%.0f (threaded), speedup %.2fx, %llu parallel solves\n",
+                Threads, Core10k.EventsPerSec, Core10kT.EventsPerSec,
+                Core10kT.WallSeconds > 0.0
+                    ? Core10k.WallSeconds / Core10kT.WallSeconds
+                    : 0.0,
+                static_cast<unsigned long long>(Core10kT.ParallelSolves));
+  }
+
+  std::string JsonPath = Opt.jsonPath();
+  if (!JsonPath.empty()) {
+    json::JsonWriter W;
+    W.beginObject();
+    W.member("schema", "dgsim-flow-churn-v1");
+    W.member("id", Opt.Id);
+    W.member("git", exp::gitDescribe());
+    W.member("seed", Seed);
+    W.key("configs");
+    W.beginArray();
+    auto Emit = [&W](size_t Flows, const char *Topo, unsigned Thr,
+                     const ChurnResult &R) {
+      W.beginObject();
+      W.member("flows", uint64_t(Flows));
+      W.member("topology", Topo);
+      W.member("threads", uint64_t(Thr));
+      W.member("steps_per_s", R.StepsPerSec);
+      W.member("events_per_s", R.EventsPerSec);
+      W.member("mean_component", R.MeanComponent);
+      W.member("max_err", R.MaxError);
+      W.member("events", R.Events);
+      W.member("wall_s", R.WallSeconds);
+      W.endObject();
+    };
+    Emit(1000, "isolated-pairs", 1, Pairs1k);
+    Emit(10000, "isolated-pairs", 1, Pairs10k);
+    Emit(1000, "shared-core", 1, Core1k);
+    Emit(10000, "shared-core", 1, Core10k);
+    if (Threads > 1) {
+      Emit(1000, "shared-core", Threads, Core1kT);
+      Emit(10000, "shared-core", Threads, Core10kT);
+    }
+    W.endArray();
+    W.key("parallel");
+    W.beginObject();
+    W.member("threads", uint64_t(Threads));
+    if (Threads > 1 && Core10kT.WallSeconds > 0.0) {
+      W.member("speedup_shared_core_10k",
+               Core10k.WallSeconds / Core10kT.WallSeconds);
+      W.member("parallel_solves", Core10kT.ParallelSolves);
+    }
+    W.endObject();
+    W.endObject();
+    std::string Doc = W.take();
+    if (std::FILE *F = std::fopen(JsonPath.c_str(), "w")) {
+      std::fwrite(Doc.data(), 1, Doc.size(), F);
+      std::fputc('\n', F);
+      std::fclose(F);
+      std::printf("json -> %s\n", JsonPath.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                   JsonPath.c_str());
+      return 2;
+    }
+  }
   return bench::exitCode();
 }

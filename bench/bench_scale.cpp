@@ -41,6 +41,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <map>
 #include <mutex>
 
 using namespace dgsim;
@@ -60,8 +61,11 @@ std::mutex RssMutex;
 std::vector<RssProbe> RssProbes;
 
 /// Builds the tiered grid for \p Sites sites and runs the open-loop
-/// stream of roughly \p Transfers fetches through it.
-exp::TrialResult runTier(size_t Sites, uint64_t Transfers, uint64_t Seed) {
+/// stream of roughly \p Transfers fetches through it, with \p Threads
+/// intra-run worker threads on the simulator's parallel executor
+/// (results are bit-identical for any value).
+exp::TrialResult runTier(size_t Sites, uint64_t Transfers, uint64_t Seed,
+                         unsigned Threads) {
   GridSpec Spec;
   Spec.Seed = Seed;
   // Scale-mode monitoring: shared batch ticks instead of one heap event
@@ -70,6 +74,7 @@ exp::TrialResult runTier(size_t Sites, uint64_t Transfers, uint64_t Seed) {
   Spec.Info.BandwidthPeriod = 30.0;
   Spec.Info.HostPeriod = 15.0;
   Spec.Info.BatchSensors = true;
+  Spec.Info.BatchHostLoads = true;
   Spec.Info.StaggerGroups = Sites >= 512 ? 64 : 16;
   // Scaled to the run: the quick matrix simulates ~40 s, so a 90 s TTL
   // would never evict (and RSS would grow for the whole run).
@@ -124,6 +129,7 @@ exp::TrialResult runTier(size_t Sites, uint64_t Transfers, uint64_t Seed) {
   Spec.Workloads.push_back(Load);
 
   std::unique_ptr<DataGrid> G = DataGrid::buildFrom(Spec);
+  G->sim().setThreads(Threads);
 
   CostModelPolicy Cost;
   // Two-choice sampling over the cost model: at 2500 selections/s
@@ -190,20 +196,62 @@ int main(int argc, char **argv) {
 
   const size_t Sites = Opt.Quick ? 64 : 1024;
   const uint64_t Transfers = Opt.Quick ? 10000 : 1000000;
+  const unsigned Threads = Opt.threads();
+
+  // With --threads T > 1 the sweep runs two arms, serial and threaded, so
+  // the run measures its own intra-run speedup (events/s per arm).  The
+  // metrics columns must agree between arms — that is the determinism
+  // contract — and the footer reports the wall-clock ratio.
+  std::vector<std::string> ThreadArms = {"1"};
+  if (Threads > 1)
+    ThreadArms.push_back(std::to_string(Threads));
+
+  struct ArmStat {
+    double WallSeconds = 0.0;
+    uint64_t Events = 0;
+  };
+  std::mutex ArmMutex;
+  std::map<unsigned, ArmStat> Arms;
 
   exp::Scenario S;
   S.Id = Opt.Id;
   S.Title = "Open-loop fetch stream over a tiered grid";
-  S.Axes = {{"sites", {std::to_string(Sites)}}};
+  S.Axes = {{"sites", {std::to_string(Sites)}}, {"threads", ThreadArms}};
   S.Seeds = Opt.seeds();
   S.Metrics = {"arrivals",   "completed",  "failed",
                "local_hits", "goodput_gb", "mean_sojourn_s"};
-  S.Run = [Transfers](const exp::TrialPoint &P) {
-    return runTier(std::strtoull(P.param("sites").c_str(), nullptr, 10),
-                   Transfers, P.Seed);
+  S.Run = [Transfers, &ArmMutex, &Arms](const exp::TrialPoint &P) {
+    unsigned T =
+        unsigned(std::strtoul(P.param("threads").c_str(), nullptr, 10));
+    auto A0 = std::chrono::steady_clock::now();
+    exp::TrialResult R =
+        runTier(std::strtoull(P.param("sites").c_str(), nullptr, 10),
+                Transfers, P.Seed, T);
+    double Wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - A0)
+            .count();
+    std::lock_guard<std::mutex> Lock(ArmMutex);
+    Arms[T].WallSeconds += Wall;
+    Arms[T].Events += R.EventsExecuted;
+    return R;
+  };
+  auto Footer = [Threads, &Arms](json::JsonWriter &W) {
+    W.key("parallel");
+    W.beginObject();
+    W.member("threads", uint64_t(Threads));
+    for (const auto &[T, A] : Arms) {
+      std::string Key = "events_per_s_t" + std::to_string(T);
+      W.member(Key, A.WallSeconds > 0.0 ? double(A.Events) / A.WallSeconds
+                                        : 0.0);
+    }
+    if (Threads > 1 && Arms.count(1) && Arms.count(Threads) &&
+        Arms.at(Threads).WallSeconds > 0.0)
+      W.member("speedup", Arms.at(1).WallSeconds /
+                              Arms.at(Threads).WallSeconds);
+    W.endObject();
   };
   auto T0 = std::chrono::steady_clock::now();
-  std::vector<exp::TrialRecord> Records = exp::runScenario(S, Opt);
+  std::vector<exp::TrialRecord> Records = exp::runScenario(S, Opt, Footer);
   double SweepWall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
           .count();
@@ -229,6 +277,25 @@ int main(int argc, char **argv) {
   bench::shapeCheckLe(SlowestTrial, Opt.Quick ? 60.0 : 300.0,
                       "slowest_trial_s",
                       "a full trial fits the single-core time budget");
+  if (Threads > 1) {
+    // The determinism contract, checked end to end: the threaded arm must
+    // reproduce the serial arm bit for bit (metrics and event counts).
+    std::map<uint64_t, const exp::TrialRecord *> SerialBySeed;
+    for (const exp::TrialRecord &R : Records)
+      if (R.Point.param("threads") == "1")
+        SerialBySeed[R.Point.Seed] = &R;
+    bool Identical = true;
+    for (const exp::TrialRecord &R : Records)
+      if (R.Point.param("threads") != "1") {
+        const exp::TrialRecord *Ser = SerialBySeed[R.Point.Seed];
+        Identical = Identical && Ser &&
+                    Ser->Result.Metrics == R.Result.Metrics &&
+                    Ser->Result.EventsExecuted == R.Result.EventsExecuted &&
+                    Ser->Result.SpecHash == R.Result.SpecHash;
+      }
+    bench::shapeCheck(Identical,
+                      "threaded arm reproduces the serial arm bit-for-bit");
+  }
   if (Opt.Jobs == 1) {
     // Memory must be flat once the sensor population is warm: the probes
     // bracket the second half of the workload, where transfer count
@@ -245,6 +312,15 @@ int main(int argc, char **argv) {
 
   std::printf("\ntransfers: %.0f completed (%.0f transfers/s host-side)\n",
               Completed, SweepWall > 0.0 ? Completed / SweepWall : 0.0);
+  if (Threads > 1 && Arms.count(1) && Arms.count(Threads) &&
+      Arms.at(Threads).WallSeconds > 0.0 && Arms.at(1).WallSeconds > 0.0) {
+    const ArmStat &Serial = Arms.at(1), &Par = Arms.at(Threads);
+    std::printf("threads: %u, events/s %.0f (serial) vs %.0f (threaded), "
+                "speedup %.2fx\n",
+                Threads, double(Serial.Events) / Serial.WallSeconds,
+                double(Par.Events) / Par.WallSeconds,
+                Serial.WallSeconds / Par.WallSeconds);
+  }
   bench::printRunFooter(Events, SweepWall);
   return bench::exitCode();
 }

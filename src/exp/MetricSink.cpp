@@ -133,6 +133,8 @@ void JsonSink::trial(const TrialRecord &Record) {
 
 void JsonSink::end(double TotalWallSeconds) {
   W.endArray();
+  if (Footer)
+    Footer(W);
   if (IncludeTimings) {
     W.member("wall_s", TotalWallSeconds);
     // Peak RSS varies run to run (allocator, ASLR, jobs), so it rides with

@@ -24,6 +24,7 @@
 #include "support/Json.h"
 
 #include <cstdio>
+#include <functional>
 #include <string>
 
 namespace dgsim {
@@ -79,6 +80,17 @@ public:
   void trial(const TrialRecord &Record) override;
   void end(double TotalWallSeconds) override;
 
+  /// Installs a callback writing extra top-level members into the
+  /// document footer at end() time (after the trials array, alongside the
+  /// wall-time provenance).  Benches use it for run-level derived data —
+  /// e.g. intra-run thread count and measured speedup — computed from
+  /// state their Run closures accumulated during the sweep.  Determinism
+  /// comparisons should not install one (footers may legitimately vary
+  /// between runs, like the other timing fields).
+  void setFooter(std::function<void(json::JsonWriter &)> Fn) {
+    Footer = std::move(Fn);
+  }
+
   /// The most recent finished document (valid after end()).
   const std::string &document() const { return Doc; }
 
@@ -86,6 +98,7 @@ private:
   std::string Path;
   std::string *Capture = nullptr;
   bool IncludeTimings;
+  std::function<void(json::JsonWriter &)> Footer;
   json::JsonWriter W;
   std::string Doc;
 };

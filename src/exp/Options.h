@@ -10,6 +10,8 @@
 ///   --seeds N       run N seeds (BaseSeed .. BaseSeed+N-1) per point
 ///   --base-seed S   override the bench's default base seed
 ///   --jobs M        worker threads (results identical for any M)
+///   --threads T     intra-run worker threads per simulator (results
+///                   identical for any T; default DGSIM_THREADS or 1)
 ///   --json PATH     write results to PATH (default BENCH_<id>.json)
 ///   --no-json       skip the JSON document
 ///   --trials        also print the generic per-trial ASCII table
@@ -38,6 +40,9 @@ struct BenchOptions {
   uint64_t BaseSeed = 1;
   unsigned SeedCount = 1;
   unsigned Jobs = 1;
+  /// Intra-run worker threads per simulator (Simulator::setThreads); 0
+  /// means "not set on the command line" — threads() resolves it.
+  unsigned Threads = 0;
   bool Quick = false;
   bool ShowTrials = false;
   bool WriteJson = true;
@@ -46,6 +51,13 @@ struct BenchOptions {
 
   /// The expanded seed list: BaseSeed .. BaseSeed+SeedCount-1.
   std::vector<uint64_t> seeds() const;
+
+  /// Resolves the intra-run thread count: --threads if given, else the
+  /// DGSIM_THREADS environment variable, else 1 (serial, the historical
+  /// execution shape).  Note --jobs > 1 wins at runtime: trial-level
+  /// parallelism opens a TrialParallelRegion and intra-run executors
+  /// degrade to serial (results are identical either way).
+  unsigned threads() const;
 
   /// The JSON path this run will write (resolving the default), or empty
   /// when JSON is disabled.
@@ -61,9 +73,12 @@ BenchOptions parseBenchOptions(int Argc, char **Argv, std::string Id,
 
 /// Runs \p S with the standard sinks for \p Options (JSON file unless
 /// disabled, per-trial table when requested) and returns the records.
-/// Prints a one-line run summary to stdout.
-std::vector<TrialRecord> runScenario(const Scenario &S,
-                                     const BenchOptions &Options);
+/// Prints a one-line run summary to stdout.  \p JsonFooter, when given,
+/// is installed on the JSON sink (JsonSink::setFooter) to append
+/// run-level members to the document.
+std::vector<TrialRecord>
+runScenario(const Scenario &S, const BenchOptions &Options,
+            std::function<void(json::JsonWriter &)> JsonFooter = nullptr);
 
 } // namespace exp
 } // namespace dgsim

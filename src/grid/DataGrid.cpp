@@ -101,7 +101,11 @@ Site &DataGrid::addSite(const SiteConfig &Config) {
     HC.DiskCfg.WriteRate = Spec.DiskWriteRate;
     HC.DiskCfg.Background.MeanLoad = Spec.IoMeanLoad;
     HC.DiskCfg.Background.Volatility = Spec.LoadVolatility;
-    S->Hosts.push_back(std::make_unique<Host>(Sim, HC, Node));
+    if (InfoConfig.BatchHostLoads && !HostLoadBatch)
+      HostLoadBatch =
+          std::make_unique<CpuLoadBatch>(Sim, HC.Cpu.UpdatePeriod);
+    S->Hosts.push_back(
+        std::make_unique<Host>(Sim, HC, Node, HostLoadBatch.get()));
   }
   Sites.push_back(std::move(S));
   Site &Built = *Sites.back();

@@ -177,6 +177,10 @@ private:
   TcpModel Tcp;
   InformationServiceConfig InfoConfig;
   ProtocolCosts Costs;
+  /// Shared tick driver for every host-load OU process when
+  /// InfoConfig.BatchHostLoads is set; null otherwise.  Declared before
+  /// Sites so it outlives the member models that detach on destruction.
+  std::unique_ptr<CpuLoadBatch> HostLoadBatch;
   std::vector<std::unique_ptr<Site>> Sites;
   std::unique_ptr<Routing> Router;
   std::unique_ptr<FlowNetwork> Net;

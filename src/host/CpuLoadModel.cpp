@@ -12,19 +12,28 @@
 
 using namespace dgsim;
 
-CpuLoadModel::CpuLoadModel(Simulator &Sim, CpuLoadConfig Config)
+CpuLoadModel::CpuLoadModel(Simulator &Sim, CpuLoadConfig Config,
+                           CpuLoadBatch *Batch)
     : Sim(Sim), Config(Config), Rng(Sim.forkRng()),
       BaseLoad(Config.MeanLoad) {
   assert(Config.MeanLoad >= 0.0 && Config.MeanLoad <= 1.0 &&
          "mean load outside [0, 1]");
   assert(Config.UpdatePeriod > 0.0 && "non-positive update period");
   SqrtDt = std::sqrt(Config.UpdatePeriod);
-  TickHandle = Sim.schedulePeriodic(Config.UpdatePeriod, [this] { tick(); });
+  if (Batch) {
+    assert(Batch->period() == Config.UpdatePeriod &&
+           "batch-driven model must share the batch period");
+    Batch->add(*this);
+  } else {
+    TickHandle = Sim.schedulePeriodic(Config.UpdatePeriod, [this] { tick(); });
+  }
   if (Config.BurstMeanInterarrival > 0.0)
     scheduleBurst();
 }
 
 CpuLoadModel::~CpuLoadModel() {
+  if (Batch)
+    Batch->remove(*this);
   Sim.cancelPeriodic(TickHandle);
   if (BurstArrival != InvalidEventId)
     Sim.cancel(BurstArrival);
@@ -51,4 +60,72 @@ void CpuLoadModel::scheduleBurst() {
     Sim.scheduleDaemon(Duration, [this] { ActiveBursts -= 1.0; });
     scheduleBurst();
   });
+}
+
+//===----------------------------------------------------------------------===//
+// CpuLoadBatch
+//===----------------------------------------------------------------------===//
+
+CpuLoadBatch::CpuLoadBatch(Simulator &Sim, SimTime Period)
+    : Sim(Sim), Period(Period) {
+  assert(Period > 0.0 && "batches need a positive period");
+  Periodic = Sim.schedulePeriodic(Period, [this] { tick(); });
+}
+
+CpuLoadBatch::~CpuLoadBatch() {
+  assert(size() == 0 && "batch destroyed while models still attached");
+  Sim.cancelPeriodic(Periodic);
+}
+
+void CpuLoadBatch::add(CpuLoadModel &M) {
+  assert(!M.Batch && "model already batch-driven");
+  M.Batch = this;
+  M.BatchPos = Members.size();
+  Members.push_back(&M);
+}
+
+void CpuLoadBatch::remove(CpuLoadModel &M) {
+  assert(M.Batch == this && Members[M.BatchPos] == &M &&
+         "model not a member of this batch");
+  Members[M.BatchPos] = nullptr;
+  M.Batch = nullptr;
+  ++Dead;
+  if (Dead * 2 > Members.size()) {
+    // Compact, preserving registration order so tick order is unchanged.
+    size_t Out = 0;
+    for (CpuLoadModel *M2 : Members)
+      if (M2) {
+        M2->BatchPos = Out;
+        Members[Out++] = M2;
+      }
+    Members.resize(Out);
+    Dead = 0;
+  }
+}
+
+void CpuLoadBatch::tick() {
+  ParallelExecutor &Exec = Sim.executor();
+  if (Exec.parallel() && size() >= ParallelMinMembers) {
+    Exec.update(*this);
+    return;
+  }
+  size_t N = Members.size();
+  for (size_t I = 0; I != N; ++I)
+    if (CpuLoadModel *M = Members[I])
+      M->tick();
+}
+
+size_t CpuLoadBatch::collectDirty() {
+  TickMembers.clear();
+  for (CpuLoadModel *M : Members)
+    if (M)
+      TickMembers.push_back(M);
+  return TickMembers.size();
+}
+
+void CpuLoadBatch::solveBatch(size_t Shard, size_t NumShards) {
+  // Every OU step is private to its model (own RNG stream, own load), so
+  // sharding changes nothing observable.
+  for (size_t I = Shard; I < TickMembers.size(); I += NumShards)
+    TickMembers[I]->tick();
 }

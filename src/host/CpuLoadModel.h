@@ -19,10 +19,15 @@
 #ifndef DGSIM_HOST_CPULOADMODEL_H
 #define DGSIM_HOST_CPULOADMODEL_H
 
+#include "sim/ResourceModel.h"
 #include "sim/Simulator.h"
 #include "support/Random.h"
 
+#include <vector>
+
 namespace dgsim {
+
+class CpuLoadBatch;
 
 /// Parameters of the load process.
 struct CpuLoadConfig {
@@ -43,9 +48,18 @@ struct CpuLoadConfig {
 };
 
 /// A live CPU-load process attached to a simulator.
+///
+/// Self-scheduled by default (one periodic kernel event per model, the
+/// historical behaviour).  When constructed with a CpuLoadBatch the batch
+/// drives the OU ticks instead, multiplexing any number of same-period
+/// models behind one kernel event; burst arrivals stay self-scheduled
+/// (they are Poisson events at irregular times).  Either way each model
+/// advances its own forked RNG stream exactly once per tick, so the load
+/// trajectory is identical in both modes and at any thread count.
 class CpuLoadModel {
 public:
-  CpuLoadModel(Simulator &Sim, CpuLoadConfig Config);
+  CpuLoadModel(Simulator &Sim, CpuLoadConfig Config,
+               CpuLoadBatch *Batch = nullptr);
   ~CpuLoadModel();
 
   CpuLoadModel(const CpuLoadModel &) = delete;
@@ -60,6 +74,8 @@ public:
   const CpuLoadConfig &config() const { return Config; }
 
 private:
+  friend class CpuLoadBatch;
+
   void tick();
   void scheduleBurst();
 
@@ -71,6 +87,50 @@ private:
   double ActiveBursts = 0.0;
   EventId TickHandle = InvalidEventId;
   EventId BurstArrival = InvalidEventId;
+  /// Batch membership (batch-driven mode); maintained by CpuLoadBatch.
+  CpuLoadBatch *Batch = nullptr;
+  size_t BatchPos = 0;
+};
+
+/// Advances a set of same-period CPU-load models behind one periodic
+/// kernel event, mirroring SensorBatch.  Each OU step touches only the
+/// model's private state (its own RNG, its own load), so on a parallel
+/// kernel executor the whole tick fans out over shards with no serial
+/// phase and remains bit-identical to registration-order advancement.
+class CpuLoadBatch : public ResourceModel {
+public:
+  /// Ticks every \p Period seconds; members must use the same period.
+  CpuLoadBatch(Simulator &Sim, SimTime Period);
+  ~CpuLoadBatch();
+
+  CpuLoadBatch(const CpuLoadBatch &) = delete;
+  CpuLoadBatch &operator=(const CpuLoadBatch &) = delete;
+
+  size_t size() const { return Members.size() - Dead; }
+  SimTime period() const { return Period; }
+
+  /// Smallest live membership for which a parallel executor shards the
+  /// tick.  Tests lower it to force the parallel path.
+  void setParallelMinMembers(size_t N) { ParallelMinMembers = N; }
+
+private:
+  friend class CpuLoadModel;
+
+  void add(CpuLoadModel &M);
+  void remove(CpuLoadModel &M);
+  void tick();
+
+  size_t collectDirty() override;
+  void solveBatch(size_t Shard, size_t NumShards) override;
+  bool commit() override { return true; }
+
+  Simulator &Sim;
+  SimTime Period;
+  EventId Periodic = InvalidEventId;
+  std::vector<CpuLoadModel *> Members;
+  size_t Dead = 0;
+  size_t ParallelMinMembers = 16;
+  std::vector<CpuLoadModel *> TickMembers; // Reused tick scratch.
 };
 
 } // namespace dgsim

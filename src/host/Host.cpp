@@ -11,9 +11,10 @@
 
 using namespace dgsim;
 
-Host::Host(Simulator &Sim, HostConfig Config, NodeId Node)
-    : Config(Config), Node(Node), Cpu(Sim, Config.Cpu),
-      Mem(Sim, Config.Memory), Dsk(Sim, Config.DiskCfg) {
+Host::Host(Simulator &Sim, HostConfig Config, NodeId Node,
+           CpuLoadBatch *LoadBatch)
+    : Config(Config), Node(Node), Cpu(Sim, Config.Cpu, LoadBatch),
+      Mem(Sim, Config.Memory, LoadBatch), Dsk(Sim, Config.DiskCfg, LoadBatch) {
   assert(!Config.Name.empty() && "hosts need a name");
   assert(Config.CpuSpeed > 0.0 && "non-positive CPU speed");
   assert(Config.NicRate > 0.0 && "non-positive NIC rate");

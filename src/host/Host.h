@@ -49,7 +49,12 @@ struct HostConfig {
 /// A live host bound to a topology node.
 class Host {
 public:
-  Host(Simulator &Sim, HostConfig Config, NodeId Node);
+  /// \param LoadBatch optional shared tick driver: when non-null the CPU,
+  /// memory and disk-background OU processes join it instead of owning
+  /// periodic events of their own (trajectories are identical; see
+  /// CpuLoadBatch).
+  Host(Simulator &Sim, HostConfig Config, NodeId Node,
+       CpuLoadBatch *LoadBatch = nullptr);
 
   Host(const Host &) = delete;
   Host &operator=(const Host &) = delete;

@@ -107,6 +107,13 @@ struct InformationServiceConfig {
   /// retire their nameserver records (a later query recreates and rebinds
   /// them).  0 keeps every path sensor forever.
   SimTime PathSensorTtl = 0.0;
+  /// Drive every host-load OU process (CPU, memory, disk background) from
+  /// one shared CpuLoadBatch instead of three periodic events per host.
+  /// Load trajectories are identical either way (each model owns its RNG
+  /// stream); only the kernel event population changes, so large-grid
+  /// benches opt in.  Consumed by DataGrid, carried here with the other
+  /// scale-out knobs.
+  bool BatchHostLoads = false;
 };
 
 /// Aggregates sensors and answers factor queries.

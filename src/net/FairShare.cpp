@@ -66,20 +66,26 @@ void FairShareWorkspace::demandUses(uint32_t Res) {
   DemandRes.push_back(Res);
 }
 
+/// Heap order: fill level, ties broken by Id.  The tie-break is a
+/// determinism contract, not a heuristic: with it, the pop order of any
+/// subset of demands/resources is a pure function of their *relative*
+/// indices, so solving a connected component alone is bit-identical to
+/// solving it inside a merged problem (demand ids always precede resource
+/// ids, and sub-problem assembly preserves relative order within each
+/// class).  FlowNetwork's partitioned parallel solve relies on this —
+/// see DESIGN.md §12.
+bool FairShareWorkspace::eventAfter(const FillEvent &A, const FillEvent &B) {
+  return A.Level > B.Level || (A.Level == B.Level && A.Id > B.Id);
+}
+
 void FairShareWorkspace::pushEvent(double Level, uint32_t Id,
                                    uint32_t Version) {
   Heap.push_back(FillEvent{Level, Id, Version});
-  std::push_heap(Heap.begin(), Heap.end(),
-                 [](const FillEvent &A, const FillEvent &B) {
-                   return A.Level > B.Level;
-                 });
+  std::push_heap(Heap.begin(), Heap.end(), eventAfter);
 }
 
 FairShareWorkspace::FillEvent FairShareWorkspace::popEvent() {
-  std::pop_heap(Heap.begin(), Heap.end(),
-                [](const FillEvent &A, const FillEvent &B) {
-                  return A.Level > B.Level;
-                });
+  std::pop_heap(Heap.begin(), Heap.end(), eventAfter);
   FillEvent Ev = Heap.back();
   Heap.pop_back();
   return Ev;

@@ -108,6 +108,7 @@ private:
     uint32_t Version;
   };
 
+  static bool eventAfter(const FillEvent &A, const FillEvent &B);
   void settleResource(uint32_t R, double Level);
   void freezeDemand(uint32_t D, double Level, bool AtCap);
   void pushEvent(double Level, uint32_t Id, uint32_t Version);

@@ -1,0 +1,81 @@
+//===- sim/ParallelExecutor.cpp --------------------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ParallelExecutor.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+using namespace dgsim;
+
+namespace {
+/// Open TrialParallelRegion count, process-wide.  Relaxed ordering is
+/// enough: the flag only gates a performance decision (fan out or not),
+/// never correctness — both execution shapes produce identical results.
+std::atomic<int> TrialRegions{0};
+} // namespace
+
+TrialParallelRegion::TrialParallelRegion() {
+  TrialRegions.fetch_add(1, std::memory_order_relaxed);
+}
+
+TrialParallelRegion::~TrialParallelRegion() {
+  TrialRegions.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool TrialParallelRegion::active() {
+  return TrialRegions.load(std::memory_order_relaxed) > 0;
+}
+
+ParallelExecutor::ParallelExecutor() = default;
+ParallelExecutor::~ParallelExecutor() = default;
+
+void ParallelExecutor::setThreads(unsigned N) {
+  if (N == 0)
+    N = 1;
+  if (N == Threads)
+    return;
+  Threads = N;
+  Pool.reset();
+  if (Threads > 1)
+    Pool = std::make_unique<ThreadPool>(Threads - 1);
+}
+
+void ParallelExecutor::parallelFor(size_t N,
+                                   const std::function<void(size_t)> &Fn) {
+  if (N > 1 && Threads > 1 && TrialParallelRegion::active())
+    ++SerialFallbacks;
+  if (!parallel() || N <= 1) {
+    for (size_t I = 0; I != N; ++I)
+      Fn(I);
+    return;
+  }
+  ++ParallelBatches;
+  Pool->parallelFor(N, Fn);
+}
+
+void ParallelExecutor::update(ResourceModel &M) {
+  for (;;) {
+    size_t Units = M.collectDirty();
+    if (Units != 0) {
+      size_t Shards = std::min<size_t>(effectiveThreads(), Units);
+      if (Shards <= 1) {
+        // Shards == 1 with a multi-unit batch and threads() > 1 means the
+        // oversubscription guard is holding us serial.
+        if (Units > 1 && Threads > 1)
+          ++SerialFallbacks;
+        M.solveBatch(0, 1);
+      } else
+        parallelFor(Shards,
+                    [&M, Shards](size_t S) { M.solveBatch(S, Shards); });
+    }
+    if (M.commit())
+      return;
+  }
+}

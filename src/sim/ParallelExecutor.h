@@ -1,0 +1,105 @@
+//===- sim/ParallelExecutor.h - Worker pool under the event kernel ---------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kernel's handle on intra-run parallelism.
+///
+/// Each Simulator owns one ParallelExecutor.  It is serial by default
+/// (threads = 1), in which case every entry point degenerates to a plain
+/// loop on the calling thread with zero synchronization — the historical
+/// single-threaded behaviour, byte for byte.  setThreads(N > 1) attaches a
+/// ThreadPool of N-1 workers; resource layers then run their solveBatch()
+/// phases as N shards, with the kernel thread participating.
+///
+/// Oversubscription guard: when the experiment layer is already running
+/// trials on its own pool (jobs x shards threads would thrash a machine
+/// sized for one of them), every executor degrades to serial for the
+/// duration.  ExperimentRunner brackets its pooled section with a
+/// TrialParallelRegion; effectiveThreads() reports 1 while any region is
+/// open anywhere in the process.  Degrading is always safe: shard results
+/// are bit-identical for every thread count (DESIGN.md §12).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_SIM_PARALLELEXECUTOR_H
+#define DGSIM_SIM_PARALLELEXECUTOR_H
+
+#include "sim/ResourceModel.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace dgsim {
+
+class ThreadPool;
+
+/// RAII marker for "the experiment layer is running trials in parallel".
+/// Process-global and counted, so nested sweeps compose; while any region
+/// is open, every ParallelExecutor in the process runs serial.
+class TrialParallelRegion {
+public:
+  TrialParallelRegion();
+  ~TrialParallelRegion();
+
+  TrialParallelRegion(const TrialParallelRegion &) = delete;
+  TrialParallelRegion &operator=(const TrialParallelRegion &) = delete;
+
+  static bool active();
+};
+
+/// A bounded worker pool for resource-layer batch phases (serial when
+/// threads == 1; see the file comment).
+class ParallelExecutor {
+public:
+  ParallelExecutor();
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor &) = delete;
+  ParallelExecutor &operator=(const ParallelExecutor &) = delete;
+
+  /// Sets the worker budget (clamped to >= 1).  1 destroys the pool and
+  /// restores pure serial execution.  Not callable from inside a
+  /// parallelFor() closure.
+  void setThreads(unsigned N);
+
+  /// The configured budget.
+  unsigned threads() const { return Threads; }
+
+  /// The budget actually honoured right now: 1 while the experiment layer
+  /// holds a TrialParallelRegion, else threads().
+  unsigned effectiveThreads() const {
+    return TrialParallelRegion::active() ? 1 : Threads;
+  }
+
+  /// True when batch phases will actually fan out.
+  bool parallel() const { return effectiveThreads() > 1; }
+
+  /// Runs Fn(0) .. Fn(N-1), fanning out across the pool (caller included)
+  /// when parallel, else serially in index order.  Blocks until all
+  /// indices ran; the return is a happens-before barrier for their writes.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+  /// Drives one full resource-model update: repeat { collectDirty ->
+  /// solveBatch over min(effectiveThreads, units) shards -> commit } until
+  /// commit() reports convergence.
+  void update(ResourceModel &M);
+
+  /// Introspection: batch phases that actually fanned out, and ones that
+  /// ran serial despite threads() > 1 (the oversubscription guard).
+  uint64_t parallelBatches() const { return ParallelBatches; }
+  uint64_t serialFallbacks() const { return SerialFallbacks; }
+
+private:
+  unsigned Threads = 1;
+  std::unique_ptr<ThreadPool> Pool; // Threads - 1 workers when Threads > 1.
+  uint64_t ParallelBatches = 0;
+  uint64_t SerialFallbacks = 0;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_SIM_PARALLELEXECUTOR_H

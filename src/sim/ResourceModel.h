@@ -1,0 +1,64 @@
+//===- sim/ResourceModel.h - Parallel-safe resource-layer updates ----------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contract between the sequential event kernel and resource layers
+/// whose per-step updates can run on a worker pool.
+///
+/// The kernel executes events one at a time; determinism lives there.  A
+/// resource layer (the flow network's fair-share components, a sensor
+/// batch's forecaster battery, a transfer manager's cap refresh) may have
+/// *independent* work inside one event, and expresses it as three phases:
+///
+///   collectDirty()  serial    snapshot shared state, enumerate independent
+///                             work units, return their count
+///   solveBatch(s,n) parallel  process units of shard s (of n shards);
+///                             must touch only unit-private state plus
+///                             read-only shared snapshots
+///   commit()        serial    fold results back in a fixed order; return
+///                             false to re-collect and re-solve (e.g. a
+///                             flow component that grew during audit)
+///
+/// ParallelExecutor::update() drives the phases.  Determinism discipline
+/// (see DESIGN.md §12): units are assigned to shards by index arithmetic
+/// (unit u -> shard u % n), never by work stealing over results; commit
+/// iterates units in their collection order; so for a fixed seed the
+/// results are bit-identical for every thread count, including one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DGSIM_SIM_RESOURCEMODEL_H
+#define DGSIM_SIM_RESOURCEMODEL_H
+
+#include <cstddef>
+
+namespace dgsim {
+
+/// A resource layer whose per-event update splits into collect / solve /
+/// commit phases (see the file comment for the threading contract).
+class ResourceModel {
+public:
+  virtual ~ResourceModel() = default;
+
+  /// Serial phase: snapshot dirty state and \returns the number of
+  /// independent work units.  With zero units the solve phase is skipped
+  /// (commit still runs, so a model can finalize bookkeeping).
+  virtual size_t collectDirty() = 0;
+
+  /// Parallel phase: process every unit u with u % NumShards == Shard.
+  /// Runs concurrently with the other shards; may write only unit-private
+  /// state and read only state frozen since collectDirty().
+  virtual void solveBatch(size_t Shard, size_t NumShards) = 0;
+
+  /// Serial phase: fold shard results back in a fixed order.  \returns
+  /// true when the update converged; false to run another
+  /// collect/solve/commit round (the work-unit set may change).
+  virtual bool commit() = 0;
+};
+
+} // namespace dgsim
+
+#endif // DGSIM_SIM_RESOURCEMODEL_H

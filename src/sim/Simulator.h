@@ -26,6 +26,7 @@
 #define DGSIM_SIM_SIMULATOR_H
 
 #include "sim/EventCallback.h"
+#include "sim/ParallelExecutor.h"
 #include "support/Random.h"
 #include "support/Units.h"
 
@@ -115,6 +116,16 @@ public:
   size_t eventSlotCount() const { return Slots.size(); }
   size_t periodicSlotCount() const { return Periodics.size(); }
 
+  /// Worker budget for resource-layer batch phases (ResourceModel
+  /// updates).  The kernel itself stays sequential; with N > 1, resource
+  /// layers fan independent work units out over N threads per event.
+  /// Results are bit-identical for every N (DESIGN.md §12).
+  void setThreads(unsigned N) { Exec.setThreads(N); }
+  unsigned threads() const { return Exec.threads(); }
+
+  /// The executor resource layers run their batch phases on.
+  ParallelExecutor &executor() { return Exec; }
+
 private:
   /// One pooled event.  Dead slots sit on FreeSlots with a bumped Gen, so
   /// any outstanding handle to the previous occupant is stale.  The (time,
@@ -196,6 +207,7 @@ private:
   std::vector<PeriodicState> Periodics;
   std::vector<uint32_t> FreePeriodics;
   RandomEngine Rng;
+  ParallelExecutor Exec;
 };
 
 } // namespace dgsim

@@ -1,0 +1,402 @@
+//===- tests/ParallelDeterminismTest.cpp -----------------------------------===//
+//
+// Part of dgsim.  SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel determinism contract (DESIGN.md §12): a run executed with
+/// any thread count must be bit-identical to the serial run.  Covered
+/// here at three levels:
+///
+///   * the ParallelExecutor phase protocol itself, on a mock
+///     ResourceModel (shard assignment, fixed reduction order, the
+///     re-collect loop, the TrialParallelRegion oversubscription guard);
+///   * the flow network's partitioned solve, under heavy churn on a
+///     shared-core topology with the parallel gate forced low;
+///   * whole runs — the paper-testbed transfers behind the fig3/fig4
+///     goldens, and a batched 16-site grid with a fault plan — compared
+///     across thread counts 1/2/4/8.
+///
+//===----------------------------------------------------------------------===//
+
+#include "grid/DataGrid.h"
+#include "grid/Hierarchy.h"
+#include "grid/Testbed.h"
+#include "grid/Workload.h"
+#include "net/FlowNetwork.h"
+#include "replica/ReplicaManager.h"
+#include "replica/ReplicaSelector.h"
+#include "sim/ParallelExecutor.h"
+#include "sim/ResourceModel.h"
+#include "support/Units.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+using namespace dgsim;
+using namespace dgsim::units;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// ParallelExecutor phase protocol on a mock resource model
+//===----------------------------------------------------------------------===//
+
+/// Counts shard coverage and performs an order-sensitive reduction: each
+/// unit's contribution depends on its index, and commit() folds them in
+/// unit order, so any executor that reassigned units to shards
+/// differently — or reduced in shard-completion order — would change the
+/// result.
+struct MockModel : ResourceModel {
+  size_t Units = 0;
+  unsigned RoundsLeft = 1;
+  std::vector<double> Solved;
+  std::vector<std::atomic<unsigned>> *Touches = nullptr;
+  double Reduced = 0.0;
+  unsigned Collects = 0;
+
+  size_t collectDirty() override {
+    ++Collects;
+    Solved.assign(Units, 0.0);
+    return Units;
+  }
+  void solveBatch(size_t Shard, size_t NumShards) override {
+    for (size_t U = Shard; U < Units; U += NumShards) {
+      // Unit-private write; value depends only on the unit, never the
+      // shard, which is what makes sharding invisible.
+      Solved[U] = double(U + 1) * 1.000000119 + double(Collects);
+      if (Touches)
+        (*Touches)[U].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  bool commit() override {
+    // Fixed reduction order: serial fold in unit order.  Floating-point
+    // addition is not associative, so folding in any other order would
+    // produce a different bit pattern for most inputs.
+    for (size_t U = 0; U < Units; ++U)
+      Reduced += Solved[U] / 3.0;
+    return --RoundsLeft == 0;
+  }
+};
+
+double reduceWith(unsigned Threads, size_t Units, unsigned Rounds) {
+  ParallelExecutor Exec;
+  Exec.setThreads(Threads);
+  MockModel M;
+  M.Units = Units;
+  M.RoundsLeft = Rounds;
+  Exec.update(M);
+  EXPECT_EQ(M.Collects, Rounds);
+  return M.Reduced;
+}
+
+TEST(ShardReduction, BitIdenticalAcrossThreadCounts) {
+  const double Serial = reduceWith(1, 257, 3);
+  for (unsigned Threads : {2u, 4u, 8u})
+    EXPECT_EQ(Serial, reduceWith(Threads, 257, 3))
+        << "thread count " << Threads;
+}
+
+TEST(ShardReduction, EveryUnitSolvedExactlyOncePerRound) {
+  ParallelExecutor Exec;
+  Exec.setThreads(4);
+  std::vector<std::atomic<unsigned>> Touches(123);
+  for (auto &T : Touches)
+    T.store(0);
+  MockModel M;
+  M.Units = Touches.size();
+  M.RoundsLeft = 2;
+  M.Touches = &Touches;
+  Exec.update(M);
+  for (size_t U = 0; U < Touches.size(); ++U)
+    EXPECT_EQ(Touches[U].load(), 2u) << "unit " << U;
+  EXPECT_GE(Exec.parallelBatches(), 1u);
+}
+
+TEST(ShardReduction, SingleUnitRunsSerially) {
+  ParallelExecutor Exec;
+  Exec.setThreads(8);
+  MockModel M;
+  M.Units = 1;
+  Exec.update(M);
+  // One dirty unit must not pay fan-out overhead.
+  EXPECT_EQ(Exec.parallelBatches(), 0u);
+  EXPECT_NE(M.Reduced, 0.0);
+}
+
+TEST(TrialRegion, DegradesExecutorsToSerialWhileOpen) {
+  ParallelExecutor Exec;
+  Exec.setThreads(4);
+  ASSERT_TRUE(Exec.parallel());
+  EXPECT_EQ(Exec.effectiveThreads(), 4u);
+  {
+    TrialParallelRegion Outer;
+    EXPECT_EQ(Exec.effectiveThreads(), 1u);
+    {
+      TrialParallelRegion Nested;
+      EXPECT_EQ(Exec.effectiveThreads(), 1u);
+    }
+    // Still inside the outer region.
+    EXPECT_EQ(Exec.effectiveThreads(), 1u);
+    // A model updated now must run its batch on one shard and still
+    // produce the serial result.
+    MockModel M;
+    M.Units = 64;
+    Exec.update(M);
+    EXPECT_EQ(Exec.parallelBatches(), 0u);
+    EXPECT_GE(Exec.serialFallbacks(), 1u);
+    EXPECT_EQ(M.Reduced, reduceWith(1, 64, 1));
+  }
+  EXPECT_EQ(Exec.effectiveThreads(), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Flow-network churn: the partitioned solve against the serial merged one
+//===----------------------------------------------------------------------===//
+
+struct ChurnOutcome {
+  std::string Journal;
+  uint64_t ParallelSolves = 0;
+  uint64_t Events = 0;
+};
+
+/// Shared-core churn with the parallel gate forced down to 2 demands, so
+/// virtually every component solve takes the partitioned path when
+/// threads are available.  The journal pins every live flow's final rate
+/// to 17 significant digits plus the rebalance statistics.
+ChurnOutcome runChurn(unsigned Threads, uint64_t Seed) {
+  Simulator Sim(Seed);
+  Sim.setThreads(Threads);
+  Topology Topo;
+  constexpr size_t NumSites = 24;
+  NodeId Core = Topo.addNode("core");
+  std::vector<NodeId> Site(NumSites);
+  for (size_t I = 0; I < NumSites; ++I) {
+    Site[I] = Topo.addNode("site" + std::to_string(I));
+    // Narrow enough that the star saturates under the flow mix below, so
+    // rebalance components span many flows and the parallel gate opens.
+    Topo.addLink(Site[I], Core, mbps(100), 0.002);
+  }
+  Routing Router(Topo);
+  TcpModel Tcp;
+  FlowNetwork Net(Sim, Topo, Router, Tcp);
+  Net.setParallelMinDemands(2);
+
+  RandomEngine Rng(Seed * 48271 + 11);
+  auto start = [&] {
+    size_t A = size_t(Rng.uniform() * NumSites) % NumSites;
+    size_t B = (A + 1 + size_t(Rng.uniform() * (NumSites - 1))) % NumSites;
+    FlowOptions Options;
+    Options.Streams = 1 + unsigned(Rng.uniform() * 4.0);
+    Options.EndpointCap = Rng.uniform(mbps(1), mbps(50));
+    Options.Background = true;
+    return Net.startFlow(Site[A], Site[B], gigabytes(Rng.uniform(1.0, 8.0)),
+                         Options, nullptr);
+  };
+
+  std::vector<FlowId> Live;
+  for (size_t I = 0; I < 300; ++I)
+    Live.push_back(start());
+  for (size_t I = 0; I < 400; ++I) {
+    while (!Live.empty() && Net.remainingBytes(Live.back()) == 0.0)
+      Live.pop_back();
+    double Op = Rng.uniform();
+    if (Op < 0.35 && !Live.empty()) {
+      size_t Pick = size_t(Rng.uniform() * Live.size()) % Live.size();
+      Net.cancelFlow(Live[Pick]);
+      Live[Pick] = Live.back();
+      Live.pop_back();
+      Live.push_back(start());
+    } else if (Op < 0.70 || Live.empty()) {
+      Live.push_back(start());
+    } else {
+      size_t Pick = size_t(Rng.uniform() * Live.size()) % Live.size();
+      Net.setEndpointCap(Live[Pick], Rng.uniform(mbps(1), mbps(50)));
+    }
+    if (I % 32 == 31)
+      Sim.runUntil(Sim.now() + 0.05);
+  }
+
+  ChurnOutcome Out;
+  char Line[64];
+  for (FlowId Id : Live) {
+    std::snprintf(Line, sizeof(Line), "%.17g\n", Net.currentRate(Id));
+    Out.Journal += Line;
+  }
+  std::snprintf(Line, sizeof(Line), "ev=%llu dem=%llu\n",
+                static_cast<unsigned long long>(Net.rebalanceEvents()),
+                static_cast<unsigned long long>(Net.rebalanceDemandsSolved()));
+  Out.Journal += Line;
+  Out.ParallelSolves = Net.parallelSolves();
+  Out.Events = Sim.eventsExecuted();
+  return Out;
+}
+
+class ChurnThreads : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ChurnThreads, BitIdenticalToSerial) {
+  ChurnOutcome Serial = runChurn(1, 20050607);
+  ChurnOutcome Threaded = runChurn(GetParam(), 20050607);
+  EXPECT_EQ(Serial.Journal, Threaded.Journal);
+  EXPECT_EQ(Serial.Events, Threaded.Events);
+  // The serial run must not pay for the machinery, and the threaded run
+  // must actually exercise it — otherwise this test proves nothing.
+  EXPECT_EQ(Serial.ParallelSolves, 0u);
+  EXPECT_GT(Threaded.ParallelSolves, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ChurnThreads, ::testing::Values(2, 4, 8));
+
+//===----------------------------------------------------------------------===//
+// Paper-testbed transfers (the scenarios behind the fig3/fig4 goldens)
+//===----------------------------------------------------------------------===//
+
+/// One fig3/fig4-style transfer on a fresh paper testbed with the
+/// network's parallel gate forced low (testbed components are small), at
+/// the given thread count.  Returns a bit-exact journal of the result.
+std::string runTestbedTransfer(unsigned Threads, TransferProtocol Protocol,
+                               unsigned Streams) {
+  PaperTestbed T;
+  T.sim().setThreads(Threads);
+  T.grid().network().setParallelMinDemands(2);
+  T.grid().transfers().setParallelMinStripes(1);
+  T.sim().runUntil(30.0);
+  TransferSpec Spec;
+  Spec.Source = T.grid().findHost("hit0");
+  Spec.Destination = T.grid().findHost("alpha1");
+  Spec.FileBytes = megabytes(256);
+  Spec.Protocol = Protocol;
+  Spec.Streams = Streams;
+  TransferResult Result;
+  T.grid().transfers().submit(Spec,
+                              [&](const TransferResult &R) { Result = R; });
+  T.sim().run();
+  char Line[160];
+  std::snprintf(Line, sizeof(Line), "st=%d d=%.17g tot=%.17g thr=%.17g e=%llu",
+                int(Result.Status), Result.DataSeconds,
+                Result.totalSeconds(), Result.meanThroughput(),
+                static_cast<unsigned long long>(T.sim().eventsExecuted()));
+  return Line;
+}
+
+class TestbedThreads : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TestbedThreads, Fig3StyleTransferBitIdentical) {
+  std::string Serial =
+      runTestbedTransfer(1, TransferProtocol::GridFtpStream, 1);
+  EXPECT_EQ(Serial, runTestbedTransfer(GetParam(),
+                                       TransferProtocol::GridFtpStream, 1));
+}
+
+TEST_P(TestbedThreads, Fig4StyleParallelStreamsBitIdentical) {
+  std::string Serial =
+      runTestbedTransfer(1, TransferProtocol::GridFtpModeE, 8);
+  EXPECT_EQ(Serial, runTestbedTransfer(GetParam(),
+                                       TransferProtocol::GridFtpModeE, 8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, TestbedThreads, ::testing::Values(2, 4, 8));
+
+//===----------------------------------------------------------------------===//
+// Whole-grid run: batched sensors + host loads + cap refresh + faults
+//===----------------------------------------------------------------------===//
+
+/// A 16-site tiered grid in full scale mode (batched sensors, batched
+/// host loads, batched cap refresh) with a fault plan, driven by an
+/// open-loop workload, every parallel gate forced low.  Everything the
+/// driver counts is folded into the journal.
+std::string runBatchedGrid(unsigned Threads, uint64_t Seed) {
+  GridSpec Spec;
+  Spec.Seed = Seed;
+  Spec.Info.BandwidthPeriod = 10.0;
+  Spec.Info.HostPeriod = 5.0;
+  Spec.Info.BatchSensors = true;
+  Spec.Info.BatchHostLoads = true;
+  Spec.Info.StaggerGroups = 4;
+
+  HierarchySpec H;
+  H.Seed = Seed * 9176 + 16;
+  H.Regions = 2;
+  H.SitesPerRegion = 8;
+  H.HostsPerSite = 1;
+  H.FileCount = 24;
+  H.FileSizeMin = megabytes(1);
+  H.FileSizeMax = megabytes(4);
+  H.ReplicasPerFile = 4;
+  HierarchyLayout Layout;
+  std::vector<std::string> Problems = appendHierarchy(Spec, H, &Layout);
+  EXPECT_TRUE(Problems.empty());
+
+  WorkloadSpec Load;
+  Load.Name = "det-load";
+  Load.Start = 0.0;
+  Load.ArrivalsPerSecond = 25.0;
+  Load.Duration = 20.0;
+  for (size_t I = 0; I < Layout.Hosts.size(); I += 2)
+    Load.Clients.push_back(Layout.Hosts[I]);
+  Load.Lfns = Layout.Lfns;
+  Load.ZipfExponent = 0.8;
+  Spec.Workloads.push_back(Load);
+
+  // A deterministic disaster on top: monitoring blackout plus storage
+  // flapping on one replica holder.
+  Spec.Faults.sensorBlackout(6.0, 8.0);
+  Spec.Faults.mtbf(FaultKind::StorageOutage, Layout.Hosts[1], "", 7.0, 4.0,
+                   20.0);
+
+  std::unique_ptr<DataGrid> G = DataGrid::buildFrom(Spec);
+  G->sim().setThreads(Threads);
+  G->network().setParallelMinDemands(2);
+  G->transfers().setParallelMinStripes(1);
+  G->transfers().setBatchedRefresh(true);
+
+  CostModelPolicy Cost;
+  TwoChoicePolicy Policy(Cost, RandomEngine(Seed * 7919 + 13).fork());
+  ReplicaSelector Sel(G->catalog(), G->info(), Policy);
+  ReplicaManager Mgr(G->catalog(), Sel, G->transfers());
+  WorkloadDriver Driver(*G, Mgr);
+
+  FetchOptions FO;
+  FO.Streams = 4;
+  FO.MaxFailovers = 2;
+  FO.Register = false;
+  Driver.start(0, FO);
+  G->sim().run();
+
+  const WorkloadCounters &C = Driver.counters();
+  double SojournSum = 0.0;
+  for (double S : C.SojournSeconds)
+    SojournSum += S;
+  char Line[256];
+  std::snprintf(
+      Line, sizeof(Line),
+      "a=%llu c=%llu f=%llu s=%llu lh=%llu gp=%.17g sj=%.17g e=%llu "
+      "end=%.17g h=%llx",
+      static_cast<unsigned long long>(C.Arrivals),
+      static_cast<unsigned long long>(C.Completed),
+      static_cast<unsigned long long>(C.Failed),
+      static_cast<unsigned long long>(C.Shed),
+      static_cast<unsigned long long>(C.LocalHits), C.GoodputBytes,
+      SojournSum, static_cast<unsigned long long>(G->sim().eventsExecuted()),
+      G->sim().now(), static_cast<unsigned long long>(Spec.hash()));
+  return Line;
+}
+
+class GridThreads : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GridThreads, BatchedChaosRunBitIdentical) {
+  std::string Serial = runBatchedGrid(1, 42);
+  EXPECT_EQ(Serial, runBatchedGrid(GetParam(), 42));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, GridThreads, ::testing::Values(2, 4, 8));
+
+} // namespace
